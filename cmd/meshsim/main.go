@@ -1,0 +1,141 @@
+// Command meshsim runs a single broadcast scenario on the simulated
+// wormhole mesh and reports latency and arrival-time statistics.
+//
+// Examples:
+//
+//	meshsim -mesh 8x8x8 -algo AB -length 100
+//	meshsim -mesh 16x16x8 -algo RD -mode cv -reps 40
+//	meshsim -mesh 8x8x8 -algo DB -mode mixed -rate 2.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		meshSpec = flag.String("mesh", "8x8x8", "mesh dimensions, e.g. 8x8x8 or 16x16")
+		algoName = flag.String("algo", "AB", "broadcast algorithm: RD, EDN, DB or AB")
+		mode     = flag.String("mode", "single", "single | cv | mixed")
+		src      = flag.Int("src", -1, "source node for single mode (-1 = node 0)")
+		length   = flag.Int("length", 100, "message length in flits")
+		ts       = flag.Float64("ts", 1.5, "startup latency in µs")
+		beta     = flag.Float64("beta", 0.003, "flit transfer time in µs")
+		reps     = flag.Int("reps", 40, "replications / measured broadcasts (cv mode)")
+		gap      = flag.Float64("gap", 5, "mean broadcast inter-arrival in µs (cv mode)")
+		rate     = flag.Float64("rate", 1.0, "per-node message rate in msg/ms (mixed mode)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	m, err := parseMesh(*meshSpec)
+	if err != nil {
+		fatal(err)
+	}
+	algo, err := lookupAlgorithm(*algoName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := wormsim.DefaultConfig()
+	cfg.Ts = *ts
+	cfg.Beta = *beta
+
+	switch *mode {
+	case "single":
+		source := wormsim.NodeID(0)
+		if *src >= 0 {
+			source = wormsim.NodeID(*src)
+		}
+		r, err := wormsim.RunBroadcast(m, algo, source, cfg, *length)
+		if err != nil {
+			fatal(err)
+		}
+		var acc wormsim.Accumulator
+		acc.AddAll(r.DestinationLatencies())
+		fmt.Printf("%s broadcast on %s from node %d (L=%d flits, Ts=%g µs)\n",
+			algo.Name(), m.Name(), source, *length, *ts)
+		fmt.Printf("  steps:            %d\n", r.Plan.Steps)
+		fmt.Printf("  messages:         %d\n", r.Plan.MessageCount())
+		fmt.Printf("  latency:          %.3f µs\n", r.Latency())
+		fmt.Printf("  mean arrival:     %.3f µs\n", acc.Mean())
+		fmt.Printf("  arrival CV:       %.4f\n", acc.CV())
+		fmt.Printf("  earliest/latest:  %.3f / %.3f µs\n", acc.Min(), acc.Max())
+		fmt.Println()
+		fmt.Print(wormsim.FormatBreakdown(algo.Name(), wormsim.StepBreakdown(m, r)))
+
+	case "cv":
+		st, err := wormsim.ContendedCVStudy(m, algo, wormsim.ContendedConfig{
+			Net:          cfg,
+			Length:       *length,
+			Broadcasts:   *reps,
+			Interarrival: *gap,
+			Seed:         *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		lat := st.Latency.Confidence95()
+		cv := st.CV.Confidence95()
+		fmt.Printf("%s on %s: %d broadcasts, gap %g µs, L=%d flits\n",
+			algo.Name(), m.Name(), *reps, *gap, *length)
+		fmt.Printf("  latency: %.3f ± %.3f µs (95%% CI)\n", lat.Mean, lat.HalfWide)
+		fmt.Printf("  CV:      %.4f ± %.4f (95%% CI)\n", cv.Mean, cv.HalfWide)
+
+	case "mixed":
+		res, err := wormsim.RunMixed(m, wormsim.MixedConfig{
+			Rate:              *rate / 1000,
+			BroadcastFraction: 0.10,
+			Length:            *length,
+			Algorithm:         algo,
+			Seed:              *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s on %s: mixed 90/10 traffic at %g msg/ms/node, L=%d flits\n",
+			algo.Name(), m.Name(), *rate, *length)
+		fmt.Printf("  mean latency:      %.3f µs (95%%CI ±%.3f)\n", res.MeanLatency, res.CI.HalfWide)
+		fmt.Printf("  unicast latency:   %.3f µs over %d messages\n", res.Unicast.Mean(), res.Unicast.N())
+		fmt.Printf("  broadcast latency: %.3f µs over %d messages\n", res.Broadcast.Mean(), res.Broadcast.N())
+		fmt.Printf("  throughput:        %.4f msg/µs\n", res.Throughput)
+		if res.Saturated {
+			fmt.Printf("  SATURATED: the network could not sustain this load\n")
+		}
+
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func parseMesh(spec string) (*wormsim.Mesh, error) {
+	parts := strings.Split(strings.ToLower(spec), "x")
+	dims := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad mesh spec %q", spec)
+		}
+		dims = append(dims, v)
+	}
+	return wormsim.NewMesh(dims...), nil
+}
+
+func lookupAlgorithm(name string) (wormsim.Algorithm, error) {
+	for _, a := range wormsim.Algorithms() {
+		if strings.EqualFold(a.Name(), name) {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown algorithm %q (want RD, EDN, DB or AB)", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "meshsim:", err)
+	os.Exit(1)
+}

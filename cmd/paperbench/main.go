@@ -1,0 +1,122 @@
+// Command paperbench regenerates every table and figure of the
+// paper's evaluation section and prints them in the paper's layout.
+//
+//	paperbench            # full runs (paper-sized replication counts)
+//	paperbench -quick     # reduced replication for a fast smoke run
+//	paperbench -only fig1 # one artifact: fig1, fig1b, fig2, tables, fig3, fig4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/export"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "reduced replication counts for a fast run")
+		only     = flag.String("only", "", "comma-separated subset: fig1, fig1b, fig2, tables, fig3, fig4")
+		seed     = flag.Uint64("seed", 2005, "random seed")
+		csvDir   = flag.String("csv", "", "also write each artifact as CSV into this directory")
+		batchesF = flag.Int("batches", 0, "override batch count for the traffic figures")
+		batchSzF = flag.Int("batchsize", 0, "override batch size for the traffic figures")
+	)
+	flag.Parse()
+
+	writeCSV := func(name string, write func(f *os.File) error) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err == nil {
+			err = write(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: writing %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(k))] = true
+		}
+	}
+	selected := func(k string) bool { return len(want) == 0 || want[k] }
+
+	reps := 40
+	batches, batchSize := 21, 100
+	if *quick {
+		reps = 8
+		batches, batchSize = 6, 40
+	}
+	if *batchesF > 0 {
+		batches = *batchesF
+	}
+	if *batchSzF > 0 {
+		batchSize = *batchSzF
+	}
+
+	run := func(id string, fn func() (*experiments.Figure, error)) {
+		if !selected(id) {
+			return
+		}
+		start := time.Now()
+		fig, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(fig)
+		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		writeCSV(id+".csv", func(f *os.File) error { return export.FigureCSV(f, fig) })
+	}
+
+	run("fig1", func() (*experiments.Figure, error) {
+		return wormsim.Fig1(wormsim.Fig1Config{Reps: reps, Seed: *seed})
+	})
+	run("fig1b", func() (*experiments.Figure, error) {
+		return wormsim.Fig1StartupLatency(wormsim.Fig1Config{Reps: reps, Seed: *seed})
+	})
+	run("fig2", func() (*experiments.Figure, error) {
+		return wormsim.Fig2(wormsim.Fig2Config{Reps: reps, Seed: *seed})
+	})
+	if selected("tables") {
+		start := time.Now()
+		t1, t2, err := wormsim.Tables(wormsim.Fig2Config{Reps: reps, Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: tables failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(t1.Format())
+		fmt.Println(t2.Format())
+		fmt.Printf("(tables regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		writeCSV("table1.csv", func(f *os.File) error { return export.TableCSV(f, t1) })
+		writeCSV("table2.csv", func(f *os.File) error { return export.TableCSV(f, t2) })
+	}
+	run("fig3", func() (*experiments.Figure, error) {
+		return wormsim.Fig34(wormsim.Fig34Config{
+			Dims: []int{8, 8, 8}, Batches: batches, BatchSize: batchSize, Warmup: 1, Seed: *seed,
+		})
+	})
+	run("fig4", func() (*experiments.Figure, error) {
+		return wormsim.Fig34(wormsim.Fig34Config{
+			Dims: []int{16, 16, 8}, Batches: batches, BatchSize: batchSize, Warmup: 1, Seed: *seed,
+		})
+	})
+}

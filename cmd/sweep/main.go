@@ -1,0 +1,116 @@
+// Command sweep runs parameter sweeps and ablations, writing tidy CSV
+// to stdout or a file for downstream plotting.
+//
+//	sweep -what fig1 > fig1.csv
+//	sweep -what ablation-length -mesh 8x8x8 -o length.csv
+//
+// Available sweeps: fig1, fig1b, fig2, fig3, fig4, table1, table2,
+// ablation-length, ablation-hop, ablation-substrate, ablation-ports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/export"
+)
+
+func main() {
+	var (
+		what     = flag.String("what", "fig1", "which sweep to run")
+		meshSpec = flag.String("mesh", "", "mesh override for ablations, e.g. 8x8x8")
+		reps     = flag.Int("reps", 0, "replication override (0 = experiment default)")
+		seed     = flag.Uint64("seed", 2005, "random seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+
+	dims, err := parseDims(*meshSpec)
+	if err != nil {
+		fatal(err)
+	}
+	abl := experiments.AblationConfig{Dims: dims, Reps: *reps, Seed: *seed}
+
+	var fig *experiments.Figure
+	switch strings.ToLower(*what) {
+	case "fig1":
+		fig, err = experiments.Fig1(experiments.Fig1Config{Reps: *reps, Seed: *seed})
+	case "fig1b":
+		fig, err = experiments.Fig1StartupLatency(experiments.Fig1Config{Reps: *reps, Seed: *seed})
+	case "fig2":
+		fig, err = experiments.Fig2(experiments.Fig2Config{Reps: *reps, Seed: *seed})
+	case "fig3":
+		fig, err = experiments.Fig34(experiments.Fig34Config{Dims: []int{8, 8, 8}, Seed: *seed})
+	case "fig4":
+		fig, err = experiments.Fig34(experiments.Fig34Config{Dims: []int{16, 16, 8}, Seed: *seed})
+	case "table1", "table2":
+		t1, t2, terr := experiments.Tables(experiments.Fig2Config{Reps: *reps, Seed: *seed})
+		if terr != nil {
+			fatal(terr)
+		}
+		tbl := t1
+		if strings.ToLower(*what) == "table2" {
+			tbl = t2
+		}
+		if err := export.TableCSV(w, tbl); err != nil {
+			fatal(err)
+		}
+		return
+	case "ablation-length":
+		fig, err = experiments.AblationMessageLength(abl)
+	case "ablation-hop":
+		fig, err = experiments.AblationHopDelay(abl)
+	case "ablation-substrate":
+		fig, err = experiments.AblationAdaptiveSubstrate(abl)
+	case "ablation-ports":
+		fig, err = experiments.AblationPortModel(abl)
+	default:
+		fatal(fmt.Errorf("unknown sweep %q", *what))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := export.FigureCSV(w, fig); err != nil {
+		fatal(err)
+	}
+}
+
+func parseDims(spec string) ([]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(strings.ToLower(spec), "x")
+	dims := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad mesh spec %q", spec)
+		}
+		dims = append(dims, v)
+	}
+	return dims, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,38 @@
+// Quickstart: broadcast one message on an 8x8x8 wormhole mesh with
+// each of the paper's four algorithms and print what the paper's
+// Fig. 1 measures — network-level broadcast latency — plus the
+// node-level arrival statistics behind its Fig. 2.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	mesh := wormsim.NewMesh(8, 8, 8)
+	cfg := wormsim.DefaultConfig() // Ts=1.5 µs, β=0.003 µs/flit (Cray T3D-like)
+	source := mesh.ID(3, 4, 2)
+	const lengthFlits = 100
+
+	fmt.Printf("Broadcast of a %d-flit message from node %v on %s\n\n",
+		lengthFlits, mesh.Coord(source), mesh.Name())
+	fmt.Printf("%-5s %6s %9s %12s %11s\n", "algo", "steps", "messages", "latency(µs)", "arrival CV")
+
+	for _, algo := range wormsim.Algorithms() {
+		r, err := wormsim.RunBroadcast(mesh, algo, source, cfg, lengthFlits)
+		if err != nil {
+			log.Fatalf("%s: %v", algo.Name(), err)
+		}
+		var arrivals wormsim.Accumulator
+		arrivals.AddAll(r.DestinationLatencies())
+		fmt.Printf("%-5s %6d %9d %12.3f %11.4f\n",
+			algo.Name(), r.Plan.Steps, r.Plan.MessageCount(), r.Latency(), arrivals.CV())
+	}
+
+	fmt.Println("\nThe coded-path algorithms (DB, AB) finish in a constant number of")
+	fmt.Println("message-passing steps, so their latency stays flat as the mesh grows,")
+	fmt.Println("while RD pays ceil(log2 N) startups and EDN k+m+4.")
+}

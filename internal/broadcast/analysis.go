@@ -1,0 +1,68 @@
+package broadcast
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// StepStats summarises the arrivals attributable to one
+// message-passing step of an executed broadcast: how many nodes first
+// received the message from a step-s worm and when.
+type StepStats struct {
+	Step     int
+	Arrivals stats.Accumulator
+}
+
+// StepBreakdown attributes each node's first arrival to the plan step
+// whose coded path covers it earliest, and aggregates arrival times
+// (relative to the broadcast start) per step. It is the quantitative
+// form of the paper's core argument: RD spreads arrivals over
+// ceil(log2 N) steps while DB and AB concentrate them in their last
+// one or two.
+func StepBreakdown(m *topology.Mesh, r *Result) []StepStats {
+	// earliest step covering each node.
+	stepOf := make(map[topology.NodeID]int)
+	for _, s := range r.Plan.Sends {
+		for _, w := range s.Path.Waypoints {
+			if cur, ok := stepOf[w]; !ok || s.Step < cur {
+				stepOf[w] = s.Step
+			}
+		}
+	}
+	agg := make(map[int]*StepStats)
+	for id, at := range r.Arrival {
+		node := topology.NodeID(id)
+		if node == r.Plan.Source || at < 0 {
+			continue
+		}
+		step := stepOf[node]
+		st, ok := agg[step]
+		if !ok {
+			st = &StepStats{Step: step}
+			agg[step] = st
+		}
+		st.Arrivals.Add(at - r.Start)
+	}
+	out := make([]StepStats, 0, len(agg))
+	for _, st := range agg {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Step < out[j].Step })
+	return out
+}
+
+// FormatBreakdown renders a step breakdown as an aligned text table.
+func FormatBreakdown(algo string, breakdown []StepStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s arrivals by message-passing step:\n", algo)
+	fmt.Fprintf(&b, "%6s %8s %12s %12s %12s\n", "step", "nodes", "first (µs)", "mean (µs)", "last (µs)")
+	for _, st := range breakdown {
+		fmt.Fprintf(&b, "%6d %8d %12.3f %12.3f %12.3f\n",
+			st.Step, st.Arrivals.N(), st.Arrivals.Min(), st.Arrivals.Mean(), st.Arrivals.Max())
+	}
+	return b.String()
+}

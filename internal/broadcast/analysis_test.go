@@ -1,0 +1,70 @@
+package broadcast
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/topology"
+)
+
+func TestStepBreakdownRD(t *testing.T) {
+	m := topology.NewMesh(8, 8, 8)
+	r, err := RunSingle(m, NewRD(), 0, network.DefaultConfig(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := StepBreakdown(m, r)
+	if len(bd) != 9 {
+		t.Fatalf("RD breakdown has %d steps, want 9", len(bd))
+	}
+	// Doubling: step s informs 2^(s-1) nodes, and step means rise
+	// monotonically.
+	total := 0
+	for i, st := range bd {
+		want := 1 << i
+		if st.Arrivals.N() != want {
+			t.Errorf("step %d informed %d nodes, want %d", st.Step, st.Arrivals.N(), want)
+		}
+		total += st.Arrivals.N()
+		if i > 0 && st.Arrivals.Mean() <= bd[i-1].Arrivals.Mean() {
+			t.Errorf("step %d mean %.3f not after step %d mean %.3f",
+				st.Step, st.Arrivals.Mean(), bd[i-1].Step, bd[i-1].Arrivals.Mean())
+		}
+	}
+	if total != m.Nodes()-1 {
+		t.Errorf("breakdown covers %d nodes, want %d", total, m.Nodes()-1)
+	}
+}
+
+func TestStepBreakdownAB(t *testing.T) {
+	m := topology.NewMesh(8, 8, 8)
+	r, err := RunSingle(m, NewAB(), m.ID(3, 4, 2), network.DefaultConfig(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := StepBreakdown(m, r)
+	if len(bd) != 3 {
+		t.Fatalf("AB breakdown has %d steps, want 3", len(bd))
+	}
+	// The paper's parallelism argument: nearly all destinations
+	// arrive in AB's final step.
+	last := bd[len(bd)-1]
+	if frac := float64(last.Arrivals.N()) / float64(m.Nodes()-1); frac < 0.9 {
+		t.Errorf("final AB step informed only %.0f%% of destinations", 100*frac)
+	}
+}
+
+func TestFormatBreakdown(t *testing.T) {
+	m := topology.NewMesh(4, 4, 4)
+	r, err := RunSingle(m, NewDB(), 0, network.DefaultConfig(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatBreakdown("DB", StepBreakdown(m, r))
+	for _, want := range []string{"DB arrivals", "step", "nodes", "mean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+}

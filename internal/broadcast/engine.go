@@ -1,0 +1,188 @@
+package broadcast
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Options configures one execution of a plan on the network.
+type Options struct {
+	// Start is the simulated time the source initiates the broadcast.
+	Start sim.Time
+	// Length is the message length in flits.
+	Length int
+	// Adaptive is the routing function used by sends marked
+	// Adaptive; nil falls back to dimension-order.
+	Adaptive routing.Selector
+	// Tag labels the broadcast's worms for tracing.
+	Tag string
+	// OnComplete, if set, fires when the last node receives the
+	// message.
+	OnComplete func(*Result)
+}
+
+// Result accumulates the outcome of one broadcast execution. Fields
+// fill in as the simulation advances; Done reports completion.
+type Result struct {
+	// Plan is the executed schedule.
+	Plan *Plan
+	// Start is the initiation time.
+	Start sim.Time
+	// Arrival[n] is the absolute time node n received the message;
+	// the source's entry equals Start. NaN-free: unreceived nodes
+	// hold -1.
+	Arrival []sim.Time
+	// Informed counts nodes holding the message, including the source.
+	Informed int
+	// Done reports whether every node received the message.
+	Done bool
+	// Finish is the arrival time at the last node (valid when Done).
+	Finish sim.Time
+}
+
+// Latency returns the network-level broadcast latency: time from
+// initiation until the last node's arrival.
+func (r *Result) Latency() sim.Time { return r.Finish - r.Start }
+
+// DestinationLatencies returns the per-destination latencies (arrival
+// minus start) for every node except the source — the sample the
+// paper's node-level coefficient of variation is computed over.
+func (r *Result) DestinationLatencies() []float64 {
+	out := make([]float64, 0, len(r.Arrival)-1)
+	for id, at := range r.Arrival {
+		if topology.NodeID(id) == r.Plan.Source {
+			continue
+		}
+		if at >= 0 {
+			out = append(out, at-r.Start)
+		}
+	}
+	return out
+}
+
+// Execute wires a plan into the network and returns its Result, which
+// fills in as the caller advances the simulator. The plan should have
+// been validated; Execute trusts it.
+func Execute(net *network.Network, plan *Plan, opt Options) (*Result, error) {
+	if opt.Length <= 0 {
+		return nil, fmt.Errorf("broadcast: message length %d", opt.Length)
+	}
+	n := net.Topology().Nodes()
+	r := &Result{
+		Plan:    plan,
+		Start:   opt.Start,
+		Arrival: make([]sim.Time, n),
+	}
+	for i := range r.Arrival {
+		r.Arrival[i] = -1
+	}
+
+	// Group sends by source, ordered by step so the port FIFO
+	// serialises them in step order.
+	bySource := make(map[topology.NodeID][]Send)
+	for _, s := range plan.Sends {
+		bySource[s.Path.Source] = append(bySource[s.Path.Source], s)
+	}
+	for _, sends := range bySource {
+		sort.SliceStable(sends, func(i, j int) bool { return sends[i].Step < sends[j].Step })
+	}
+
+	var deliver func(node topology.NodeID, at sim.Time)
+	trigger := func(node topology.NodeID, at sim.Time) {
+		for _, s := range bySource[node] {
+			s := s
+			sel := routing.Selector(nil)
+			if s.Adaptive {
+				sel = opt.Adaptive
+			}
+			t := &network.Transfer{
+				Source:    node,
+				Waypoints: s.Path.Waypoints,
+				Length:    opt.Length,
+				Selector:  sel,
+				OnDeliver: deliver,
+				Tag:       fmt.Sprintf("%s/%s/step%d/src%d", opt.Tag, plan.Algorithm, s.Step, node),
+			}
+			if err := net.Send(at, t); err != nil {
+				panic(fmt.Sprintf("broadcast: planned send rejected: %v", err))
+			}
+		}
+		delete(bySource, node) // each node triggers once
+	}
+
+	deliver = func(node topology.NodeID, at sim.Time) {
+		if r.Arrival[node] >= 0 {
+			return // duplicate coverage; first arrival counts
+		}
+		r.Arrival[node] = at
+		r.Informed++
+		if r.Informed == n {
+			r.Done = true
+			r.Finish = at
+			if opt.OnComplete != nil {
+				opt.OnComplete(r)
+			}
+		}
+		trigger(node, at)
+	}
+
+	// The source holds the message at Start.
+	r.Arrival[plan.Source] = opt.Start
+	r.Informed = 1
+	if n == 1 {
+		r.Done, r.Finish = true, opt.Start
+		if opt.OnComplete != nil {
+			opt.OnComplete(r)
+		}
+		return r, nil
+	}
+	net.Sim().At(opt.Start, func() { trigger(plan.Source, opt.Start) })
+	return r, nil
+}
+
+// RunSingle is the convenience path used by the single-source
+// experiments: build a fresh network over m, execute algo's plan from
+// src, run the simulation to completion and return the result.
+func RunSingle(m *topology.Mesh, algo Algorithm, src topology.NodeID, cfg network.Config, length int) (*Result, error) {
+	plan, err := algo.Plan(m, src)
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.Validate(m); err != nil {
+		return nil, err
+	}
+	cfg.Ports = algo.Ports()
+	s := sim.New()
+	net, err := network.New(s, m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var adaptive routing.Selector
+	if needsAdaptive(plan) {
+		adaptive = routing.NewWestFirst(m)
+	}
+	r, err := Execute(net, plan, Options{Length: length, Adaptive: adaptive, Tag: "single"})
+	if err != nil {
+		return nil, err
+	}
+	s.Run()
+	if !r.Done {
+		return nil, fmt.Errorf("broadcast: %s from %d stalled with %d/%d informed (stuck: %v)",
+			algo.Name(), src, r.Informed, m.Nodes(), net.Stuck())
+	}
+	return r, nil
+}
+
+func needsAdaptive(p *Plan) bool {
+	for _, s := range p.Sends {
+		if s.Adaptive {
+			return true
+		}
+	}
+	return false
+}

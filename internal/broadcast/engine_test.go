@@ -1,0 +1,171 @@
+package broadcast
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestExecuteRejectsBadLength(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	s := sim.New()
+	net := network.MustNew(s, m, network.DefaultConfig())
+	plan, err := NewDB().Plan(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(net, plan, Options{Length: 0}); err == nil {
+		t.Fatal("zero length accepted")
+	}
+}
+
+func TestExecuteSingleNodeMesh(t *testing.T) {
+	m := topology.NewMesh(1, 1, 1)
+	s := sim.New()
+	net := network.MustNew(s, m, network.DefaultConfig())
+	plan := &Plan{Algorithm: "trivial", Source: 0, Steps: 0}
+	done := false
+	r, err := Execute(net, plan, Options{Length: 8, OnComplete: func(*Result) { done = true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Done || !done || r.Latency() != 0 {
+		t.Fatalf("single-node broadcast not trivially complete: %+v", r)
+	}
+}
+
+func TestExecuteOnCompleteFiresOnce(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	s := sim.New()
+	net := network.MustNew(s, m, network.DefaultConfig())
+	plan, err := NewAB().Plan(m, m.ID(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	_, err = Execute(net, plan, Options{
+		Length:     16,
+		Adaptive:   nil, // AB worms fall back to dimension-order
+		OnComplete: func(*Result) { fired++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("OnComplete fired %d times", fired)
+	}
+}
+
+// TestExecuteDuplicateDeliveriesIgnored: a hand-built plan that
+// covers one node twice must record the first arrival only.
+func TestExecuteDuplicateDeliveriesIgnored(t *testing.T) {
+	m := topology.NewMesh(4, 1)
+	s := sim.New()
+	net := network.MustNew(s, m, network.DefaultConfig())
+	plan := &Plan{
+		Algorithm: "dup",
+		Source:    0,
+		Steps:     2,
+		Sends: []Send{
+			{Step: 1, Path: core.ChainPath(0, 1, 2, 3)},
+			{Step: 2, Path: core.ChainPath(3, 2)}, // covers 2 again, later
+		},
+	}
+	if err := plan.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Execute(net, plan, Options{Length: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if !r.Done {
+		t.Fatal("incomplete")
+	}
+	if r.Arrival[2] >= r.Arrival[3] {
+		t.Fatalf("node 2's recorded arrival (%v) not the first one (node 3 at %v)",
+			r.Arrival[2], r.Arrival[3])
+	}
+}
+
+func TestValidateCatchesBrokenPlans(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	cases := []struct {
+		name string
+		plan *Plan
+	}{
+		{"uninformed sender", &Plan{Algorithm: "x", Source: 0, Steps: 2, Sends: []Send{
+			{Step: 1, Path: core.ChainPath(5, 6)},
+		}}},
+		{"send before informed", &Plan{Algorithm: "x", Source: 0, Steps: 2, Sends: []Send{
+			{Step: 1, Path: core.ChainPath(0, 5)},
+			{Step: 1, Path: core.ChainPath(5, 6)},
+		}}},
+		{"step out of range", &Plan{Algorithm: "x", Source: 0, Steps: 1, Sends: []Send{
+			{Step: 2, Path: core.ChainPath(0, 5)},
+		}}},
+		{"incomplete coverage", &Plan{Algorithm: "x", Source: 0, Steps: 1, Sends: []Send{
+			{Step: 1, Path: core.ChainPath(0, 1)},
+		}}},
+		{"bad source", &Plan{Algorithm: "x", Source: topology.NodeID(99), Steps: 1}},
+	}
+	for _, tc := range cases {
+		if err := tc.plan.Validate(m); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestPlanMetrics(t *testing.T) {
+	m := topology.NewMesh(4, 4, 4)
+	plan, err := NewRD().Plan(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.MessageCount(); got != m.Nodes()-1 {
+		t.Errorf("RD message count = %d, want %d", got, m.Nodes()-1)
+	}
+	if got := plan.TotalPathNodes(); got != m.Nodes()-1 {
+		t.Errorf("RD path nodes = %d (unicasts deliver once each)", got)
+	}
+	if got := plan.MaxSendsPerNodeStep(); got != 1 {
+		t.Errorf("RD sends per node-step = %d", got)
+	}
+	ab, err := NewAB().Plan(m, m.ID(1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd, abn := plan.MessageCount(), ab.MessageCount(); abn >= rd {
+		t.Errorf("AB messages (%d) not below RD (%d)", abn, rd)
+	}
+}
+
+// TestRunSingleReportsStall: an engine fed a plan whose sends can
+// never complete coverage must report the stall instead of hanging.
+func TestRunSingleReportsStall(t *testing.T) {
+	m := topology.NewMesh(3, 1)
+	// stallAlgo plans an intentionally incomplete broadcast.
+	_, err := RunSingle(m, stallAlgo{}, 0, network.DefaultConfig(), 8)
+	if err == nil {
+		t.Fatal("incomplete plan not reported")
+	}
+}
+
+type stallAlgo struct{}
+
+func (stallAlgo) Name() string { return "stall" }
+func (stallAlgo) Ports() int   { return 1 }
+func (stallAlgo) Plan(m *topology.Mesh, src topology.NodeID) (*Plan, error) {
+	// Covers only node 1 of 3 — Validate would reject it, so
+	// RunSingle must fail at validation.
+	return &Plan{Algorithm: "stall", Source: src, Steps: 1, Sends: []Send{
+		{Step: 1, Path: core.ChainPath(src, 1)},
+	}}, nil
+}

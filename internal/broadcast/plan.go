@@ -1,0 +1,135 @@
+// Package broadcast implements the four broadcast algorithms the
+// paper compares — Recursive Doubling (RD), Extended Dominating Nodes
+// (EDN), Deterministic Broadcast (DB) and Adaptive Broadcast (AB) —
+// as planners that emit message-passing schedules, plus the engine
+// that executes a schedule on the simulated wormhole network.
+//
+// A Plan is a set of Sends organised in message-passing steps. The
+// engine is dependency-driven, like the paper's path processes: a
+// node's step-s send is injected the moment the node holds the
+// message, not at a global barrier, and the node's injection ports
+// serialise its sends in step order.
+package broadcast
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// Send is one planned message: a coded path injected by its source
+// during a given message-passing step.
+type Send struct {
+	// Step is the 1-based message-passing step this send belongs to.
+	Step int
+	// Path is the coded path: source, ordered delivery waypoints.
+	Path *core.CodedPath
+	// Adaptive marks sends routed by the adaptive (turn-model)
+	// routing function instead of dimension-order.
+	Adaptive bool
+}
+
+// Plan is a complete broadcast schedule for one source.
+type Plan struct {
+	// Algorithm names the planner that produced the plan.
+	Algorithm string
+	// Source initiates the broadcast.
+	Source topology.NodeID
+	// Steps is the number of message-passing steps.
+	Steps int
+	// Sends lists every planned message, in no particular order.
+	Sends []Send
+}
+
+// Algorithm plans broadcasts on a mesh.
+type Algorithm interface {
+	// Name returns the paper's abbreviation: "RD", "EDN", "DB", "AB".
+	Name() string
+	// Ports returns the router injection-port model the algorithm
+	// assumes (1 for one-port, 3 for EDN's three-port router).
+	Ports() int
+	// Plan returns the broadcast schedule for source src on mesh m.
+	Plan(m *topology.Mesh, src topology.NodeID) (*Plan, error)
+}
+
+// Validate checks the plan's structural and causal sanity:
+// every coded path is well-formed, every send's source already holds
+// the message strictly before the send's step, and after the final
+// step every node of the mesh holds the message.
+func (p *Plan) Validate(m *topology.Mesh) error {
+	if p.Source < 0 || int(p.Source) >= m.Nodes() {
+		return fmt.Errorf("broadcast: source %d out of range", p.Source)
+	}
+	informedAt := make([]int, m.Nodes())
+	for i := range informedAt {
+		informedAt[i] = -1
+	}
+	informedAt[p.Source] = 0
+
+	sends := append([]Send(nil), p.Sends...)
+	sort.SliceStable(sends, func(i, j int) bool { return sends[i].Step < sends[j].Step })
+
+	for _, s := range sends {
+		if s.Step < 1 || s.Step > p.Steps {
+			return fmt.Errorf("broadcast: %s send at step %d outside [1,%d]", p.Algorithm, s.Step, p.Steps)
+		}
+		if err := s.Path.Validate(m); err != nil {
+			return fmt.Errorf("broadcast: %s step %d: %w", p.Algorithm, s.Step, err)
+		}
+		src := s.Path.Source
+		at := informedAt[src]
+		if at < 0 {
+			return fmt.Errorf("broadcast: %s step %d: source %d never receives the message", p.Algorithm, s.Step, src)
+		}
+		if at >= s.Step {
+			return fmt.Errorf("broadcast: %s step %d: source %d only informed at step %d", p.Algorithm, s.Step, src, at)
+		}
+		for _, w := range s.Path.Waypoints {
+			if informedAt[w] < 0 {
+				informedAt[w] = s.Step
+			}
+		}
+	}
+	for id, at := range informedAt {
+		if at < 0 {
+			return fmt.Errorf("broadcast: %s plan from %d never covers node %d", p.Algorithm, p.Source, id)
+		}
+	}
+	return nil
+}
+
+// MessageCount returns the number of worms the plan injects — the
+// paper's "number of messages" resource metric.
+func (p *Plan) MessageCount() int { return len(p.Sends) }
+
+// TotalPathNodes returns the total number of delivery waypoints across
+// all sends, a proxy for total path length / channel occupancy.
+func (p *Plan) TotalPathNodes() int {
+	total := 0
+	for _, s := range p.Sends {
+		total += len(s.Path.Waypoints)
+	}
+	return total
+}
+
+// MaxSendsPerNodeStep returns the maximum number of sends any single
+// node injects within one step — it must not exceed the algorithm's
+// port model for the step count to be honest.
+func (p *Plan) MaxSendsPerNodeStep() int {
+	type key struct {
+		node topology.NodeID
+		step int
+	}
+	counts := make(map[key]int)
+	max := 0
+	for _, s := range p.Sends {
+		k := key{s.Path.Source, s.Step}
+		counts[k]++
+		if counts[k] > max {
+			max = counts[k]
+		}
+	}
+	return max
+}

@@ -1,0 +1,151 @@
+package broadcast
+
+import (
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// paperMeshes are the 3D mesh sizes the paper's evaluation uses.
+var paperMeshes = [][]int{
+	{4, 4, 4},    // 64
+	{4, 4, 16},   // 256
+	{8, 8, 8},    // 512
+	{8, 8, 16},   // 1024
+	{10, 10, 10}, // 1000 (Fig. 1)
+	{16, 16, 8},  // 2048 (Fig. 4)
+	{16, 16, 16}, // 4096
+}
+
+// oddMeshes stress planners with non-power, truncated and degenerate
+// extents.
+var oddMeshes = [][]int{
+	{2, 2, 2}, {3, 3, 3}, {5, 7, 3}, {6, 2, 9},
+	{1, 4, 4}, {4, 1, 4}, {4, 4, 1}, {1, 1, 8}, {7, 1, 1},
+	{3, 5, 2}, {9, 9, 9}, {2, 8, 5},
+}
+
+func allAlgorithms() []Algorithm {
+	return []Algorithm{NewRD(), NewEDN(), NewDB(), NewAB()}
+}
+
+func sourcesFor(m *topology.Mesh, seed uint64) []topology.NodeID {
+	srcs := []topology.NodeID{0, topology.NodeID(m.Nodes() - 1), topology.NodeID(m.Nodes() / 2)}
+	rng := sim.NewRNG(seed, 7)
+	for i := 0; i < 3; i++ {
+		srcs = append(srcs, topology.NodeID(rng.Intn(m.Nodes())))
+	}
+	return srcs
+}
+
+// TestPlansValidate checks that every algorithm produces a valid plan
+// (full coverage, causal step order) from corner, center and random
+// sources on every paper mesh and a battery of odd-shaped meshes.
+func TestPlansValidate(t *testing.T) {
+	shapes := append(append([][]int{}, paperMeshes...), oddMeshes...)
+	for _, dims := range shapes {
+		m := topology.NewMesh(dims...)
+		for _, algo := range allAlgorithms() {
+			for _, src := range sourcesFor(m, 1) {
+				plan, err := algo.Plan(m, src)
+				if err != nil {
+					t.Fatalf("%s on %s from %d: %v", algo.Name(), m.Name(), src, err)
+				}
+				if err := plan.Validate(m); err != nil {
+					t.Errorf("%s on %s from %d: %v", algo.Name(), m.Name(), src, err)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanStepCounts pins the published step counts: RD's ceil(log2 N)
+// on power-of-two meshes, EDN's k+m+4, DB's 4 and AB's 3.
+func TestPlanStepCounts(t *testing.T) {
+	cases := []struct {
+		dims []int
+		rd   int
+		edn  int
+	}{
+		{[]int{4, 4, 4}, 6, 4},
+		{[]int{4, 4, 16}, 8, 6},
+		{[]int{8, 8, 8}, 9, 6},
+		{[]int{8, 8, 16}, 10, 7},
+		{[]int{16, 16, 8}, 11, 7},
+		{[]int{16, 16, 16}, 12, 8},
+	}
+	for _, tc := range cases {
+		m := topology.NewMesh(tc.dims...)
+		if got := NewRD().StepsFor(m); got != tc.rd {
+			t.Errorf("RD steps on %s = %d, want %d", m.Name(), got, tc.rd)
+		}
+		if got := NewEDN().StepsFor(m); got != tc.edn {
+			t.Errorf("EDN steps on %s = %d, want %d", m.Name(), got, tc.edn)
+		}
+		if got := NewDB().StepsFor(m); got != 4 {
+			t.Errorf("DB steps on %s = %d, want 4", m.Name(), got)
+		}
+		if got := NewAB().StepsFor(m); got != 3 {
+			t.Errorf("AB steps on %s = %d, want 3", m.Name(), got)
+		}
+	}
+}
+
+// TestPlanPortDiscipline verifies that no plan injects more
+// simultaneous sends per node per step than its router model allows.
+func TestPlanPortDiscipline(t *testing.T) {
+	for _, dims := range paperMeshes {
+		m := topology.NewMesh(dims...)
+		for _, algo := range allAlgorithms() {
+			limit := algo.Ports()
+			if algo.Name() == "AB" {
+				// AB serialises its corner relays on one port within
+				// a step; up to two injections per labelled step.
+				limit = 2
+			}
+			for _, src := range sourcesFor(m, 2) {
+				plan, err := algo.Plan(m, src)
+				if err != nil {
+					t.Fatalf("%s: %v", algo.Name(), err)
+				}
+				if got := plan.MaxSendsPerNodeStep(); got > limit {
+					t.Errorf("%s on %s from %d: %d sends per node-step, limit %d",
+						algo.Name(), m.Name(), src, got, limit)
+				}
+			}
+		}
+	}
+}
+
+// TestExecuteCoversEveryNode runs each algorithm end to end on the
+// simulator and checks every node receives the message exactly once,
+// with sane arrival times.
+func TestExecuteCoversEveryNode(t *testing.T) {
+	for _, dims := range [][]int{{4, 4, 4}, {8, 8, 8}, {5, 7, 3}, {4, 4, 16}} {
+		m := topology.NewMesh(dims...)
+		for _, algo := range allAlgorithms() {
+			for _, src := range sourcesFor(m, 3)[:4] {
+				r, err := RunSingle(m, algo, src, network.DefaultConfig(), 64)
+				if err != nil {
+					t.Fatalf("%s on %s from %d: %v", algo.Name(), m.Name(), src, err)
+				}
+				if !r.Done {
+					t.Fatalf("%s on %s from %d: incomplete", algo.Name(), m.Name(), src)
+				}
+				for id, at := range r.Arrival {
+					if at < 0 {
+						t.Errorf("%s on %s: node %d never received", algo.Name(), m.Name(), id)
+					}
+					if topology.NodeID(id) != src && at <= r.Start {
+						t.Errorf("%s on %s: node %d arrival %v not after start", algo.Name(), m.Name(), id, at)
+					}
+				}
+				if r.Latency() <= 0 {
+					t.Errorf("%s on %s: non-positive latency %v", algo.Name(), m.Name(), r.Latency())
+				}
+			}
+		}
+	}
+}

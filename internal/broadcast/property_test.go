@@ -1,0 +1,179 @@
+package broadcast
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// TestPlannersOnRandomMeshes property-checks every planner over
+// random 3D mesh shapes and random sources: the plan must validate
+// (full coverage, causal steps) without panicking.
+func TestPlannersOnRandomMeshes(t *testing.T) {
+	rng := sim.NewRNG(71, 3)
+	f := func(a, b, c uint8, srcPick uint16) bool {
+		dims := []int{int(a%8) + 1, int(b%8) + 1, int(c%8) + 1}
+		m := topology.NewMesh(dims...)
+		src := topology.NodeID(int(srcPick) % m.Nodes())
+		for _, algo := range allAlgorithms() {
+			plan, err := algo.Plan(m, src)
+			if err != nil {
+				return false
+			}
+			if err := plan.Validate(m); err != nil {
+				return false
+			}
+			if plan.Steps < 1 && m.Nodes() > 1 {
+				return false
+			}
+		}
+		_ = rng
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlannersOn2DMeshes: DB and AB are defined for 2D as well.
+func TestPlannersOn2DMeshes(t *testing.T) {
+	f := func(a, b uint8, srcPick uint16) bool {
+		dims := []int{int(a%10) + 1, int(b%10) + 1}
+		m := topology.NewMesh(dims...)
+		src := topology.NodeID(int(srcPick) % m.Nodes())
+		for _, algo := range []Algorithm{NewRD(), NewDB(), NewAB()} {
+			plan, err := algo.Plan(m, src)
+			if err != nil {
+				return false
+			}
+			if err := plan.Validate(m); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestABPathsAreWestFirstConforming walks every AB coded path and
+// checks the turn discipline the deadlock-freedom argument needs:
+// within a worm, no west (-x) hop after a non-west hop.
+func TestABPathsAreWestFirstConforming(t *testing.T) {
+	for _, dims := range [][]int{{8, 8, 8}, {5, 7, 3}, {8, 8}, {16, 16, 8}} {
+		m := topology.NewMesh(dims...)
+		wf := routing.NewWestFirst(m)
+		rng := sim.NewRNG(5, 9)
+		for rep := 0; rep < 10; rep++ {
+			src := topology.NodeID(rng.Intn(m.Nodes()))
+			plan, err := NewAB().Plan(m, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range plan.Sends {
+				cur := s.Path.Source
+				leftWest := false
+				for _, wp := range s.Path.Waypoints {
+					// Expand the segment with the actual router.
+					path := routing.Path(wf, m, cur, wp)
+					for i := 1; i < len(path); i++ {
+						west := m.CoordAxis(path[i], 0) < m.CoordAxis(path[i-1], 0)
+						if west && leftWest {
+							t.Fatalf("AB on %s from %d: worm %v turns back west at %v",
+								m.Name(), src, s.Path.Waypoints, m.Coord(path[i]))
+						}
+						if !west {
+							leftWest = true
+						}
+					}
+					cur = wp
+				}
+			}
+		}
+	}
+}
+
+// TestDBPathsSingleOrientationPerFace: all DB face floods of one mesh
+// use identical waypoint sequences per face regardless of source —
+// the property that keeps concurrent DB broadcasts cycle-free.
+func TestDBPathsSingleOrientationPerFace(t *testing.T) {
+	m := topology.NewMesh(6, 5, 4)
+	perFace := map[int]string{}
+	rng := sim.NewRNG(31, 17)
+	for rep := 0; rep < 20; rep++ {
+		src := topology.NodeID(rng.Intn(m.Nodes()))
+		plan, err := NewDB().Plan(m, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range plan.Sends {
+			// Face floods are the sends with more than X waypoints
+			// launched from a corner.
+			if len(s.Path.Waypoints) < m.Dim(1)*m.Dim(2)-1 {
+				continue
+			}
+			face := m.CoordAxis(s.Path.Source, 0)
+			sig := ""
+			for _, w := range s.Path.Waypoints {
+				sig += string(rune(w)) // cheap stable signature
+			}
+			if prev, ok := perFace[face]; ok && prev != sig {
+				t.Fatalf("face x=%d flooded with two different paths", face)
+			}
+			perFace[face] = sig
+		}
+	}
+	if len(perFace) != 2 {
+		t.Fatalf("observed %d flooded faces, want 2", len(perFace))
+	}
+}
+
+// TestEngineRespectsDependencies: no node's outgoing worm is injected
+// before the node itself has received the message.
+func TestEngineRespectsDependencies(t *testing.T) {
+	m := topology.NewMesh(6, 6, 6)
+	for _, algo := range allAlgorithms() {
+		r, err := RunSingle(m, algo, m.ID(3, 2, 5), network.DefaultConfig(), 64)
+		if err != nil {
+			t.Fatalf("%s: %v", algo.Name(), err)
+		}
+		// Arrival times must respect plan step order loosely: a node
+		// informed at step s cannot arrive before one Ts per step.
+		for id, at := range r.Arrival {
+			if topology.NodeID(id) == r.Plan.Source {
+				continue
+			}
+			if at < r.Start+1.5 {
+				t.Fatalf("%s: node %d arrived %.3f µs after start, before one startup", algo.Name(), id, at-r.Start)
+			}
+		}
+	}
+}
+
+// TestSameSeedSameBroadcast: RunSingle is deterministic.
+func TestSameSeedSameBroadcast(t *testing.T) {
+	m := topology.NewMesh(5, 5, 5)
+	for _, algo := range allAlgorithms() {
+		a, err := RunSingle(m, algo, 7, network.DefaultConfig(), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunSingle(m, algo, 7, network.DefaultConfig(), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Finish != b.Finish {
+			t.Fatalf("%s: nondeterministic finish %v vs %v", algo.Name(), a.Finish, b.Finish)
+		}
+		for i := range a.Arrival {
+			if a.Arrival[i] != b.Arrival[i] {
+				t.Fatalf("%s: nondeterministic arrival at node %d", algo.Name(), i)
+			}
+		}
+	}
+}

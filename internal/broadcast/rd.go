@@ -1,0 +1,103 @@
+package broadcast
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// RD is the Recursive Doubling broadcast of Barnett et al. [2]: the
+// mesh is broadcast dimension by dimension; within each line the node
+// holding the message repeatedly halves its partition and sends one
+// unicast to the node at the same relative position in the other
+// half. It needs ceil(log2 N) message-passing steps on an N-node mesh
+// and assumes a one-port router with dimension-order routing.
+type RD struct{}
+
+// NewRD returns the Recursive Doubling planner.
+func NewRD() RD { return RD{} }
+
+// Name implements Algorithm.
+func (RD) Name() string { return "RD" }
+
+// Ports implements Algorithm: RD is a one-port algorithm.
+func (RD) Ports() int { return 1 }
+
+// StepsFor returns the number of message-passing steps RD uses on m:
+// the sum over dimensions of ceil(log2 extent).
+func (RD) StepsFor(m *topology.Mesh) int {
+	total := 0
+	for d := 0; d < m.NDims(); d++ {
+		total += ceilLog2(m.Dim(d))
+	}
+	return total
+}
+
+func ceilLog2(k int) int {
+	if k <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(k))))
+}
+
+// Plan implements Algorithm.
+func (rd RD) Plan(m *topology.Mesh, src topology.NodeID) (*Plan, error) {
+	p := &Plan{Algorithm: rd.Name(), Source: src, Steps: rd.StepsFor(m)}
+
+	// informed tracks the coordinate sets already holding the
+	// message; dimension phases expand it one dimension at a time.
+	informed := []topology.NodeID{src}
+	stepBase := 1
+	for d := 0; d < m.NDims(); d++ {
+		rounds := ceilLog2(m.Dim(d))
+		if rounds == 0 {
+			continue
+		}
+		var next []topology.NodeID
+		for _, holder := range informed {
+			line := m.Line(holder, d)
+			pos := m.CoordAxis(holder, d)
+			covered := rd.halveLine(p, m, line, 0, len(line), pos, stepBase)
+			next = append(next, covered...)
+		}
+		informed = next
+		stepBase += rounds
+	}
+	return p, nil
+}
+
+// halveLine recursively plans the doubling on line[lo:hi] with the
+// holder at index pos, starting at step. It returns every line node
+// that ends up holding the message (the whole segment).
+func (rd RD) halveLine(p *Plan, m *topology.Mesh, line []topology.NodeID, lo, hi, pos, step int) []topology.NodeID {
+	if hi-lo <= 1 {
+		return []topology.NodeID{line[pos]}
+	}
+	mid := lo + (hi-lo+1)/2 // lower half is the ceil half
+	var peer int
+	if pos < mid {
+		peer = mid + (pos - lo)
+		if peer >= hi {
+			peer = hi - 1
+		}
+	} else {
+		peer = lo + (pos - mid)
+		if peer >= mid {
+			peer = mid - 1
+		}
+	}
+	p.Sends = append(p.Sends, Send{
+		Step: step,
+		Path: core.ChainPath(line[pos], line[peer]),
+	})
+	var out []topology.NodeID
+	if pos < mid {
+		out = append(out, rd.halveLine(p, m, line, lo, mid, pos, step+1)...)
+		out = append(out, rd.halveLine(p, m, line, mid, hi, peer, step+1)...)
+	} else {
+		out = append(out, rd.halveLine(p, m, line, mid, hi, pos, step+1)...)
+		out = append(out, rd.halveLine(p, m, line, lo, mid, peer, step+1)...)
+	}
+	return out
+}

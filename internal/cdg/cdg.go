@@ -1,0 +1,159 @@
+// Package cdg builds the channel dependency graph of a routing
+// function over a topology and checks it for cycles — Dally & Seitz's
+// classical deadlock-freedom criterion for wormhole routing. The
+// broadcast study leans on deadlock-free substrates (dimension-order,
+// west-first); this package lets the test suite verify that property
+// mechanically instead of by citation.
+package cdg
+
+import (
+	"fmt"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Graph is a channel dependency graph: nodes are directed channels,
+// and an edge c1 -> c2 means some routed message can hold c1 while
+// requesting c2.
+type Graph struct {
+	edges map[topology.ChannelID]map[topology.ChannelID]bool
+}
+
+// NewGraph returns an empty dependency graph.
+func NewGraph() *Graph {
+	return &Graph{edges: make(map[topology.ChannelID]map[topology.ChannelID]bool)}
+}
+
+// AddDependency records that a message can hold from while asking for to.
+func (g *Graph) AddDependency(from, to topology.ChannelID) {
+	m, ok := g.edges[from]
+	if !ok {
+		m = make(map[topology.ChannelID]bool)
+		g.edges[from] = m
+	}
+	m[to] = true
+}
+
+// Edges returns the number of dependencies recorded.
+func (g *Graph) Edges() int {
+	n := 0
+	for _, m := range g.edges {
+		n += len(m)
+	}
+	return n
+}
+
+// Build explores every (source, destination) pair under the selector,
+// following every adaptive branch, and records the channel
+// dependencies a message could create. It is exponential in path
+// length in the worst case, so call it on small meshes (tests use
+// 4x4 and 3x3x3).
+func Build(m *topology.Mesh, sel routing.Selector) *Graph {
+	g := NewGraph()
+	n := m.Nodes()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			explore(m, sel, g, topology.NodeID(src), topology.NodeID(dst))
+		}
+	}
+	return g
+}
+
+// explore walks all adaptive branches from src to dst, adding a
+// dependency for every consecutive channel pair. Visited (node,
+// holding-channel) states are pruned; since routing is minimal the
+// walk terminates.
+func explore(m *topology.Mesh, sel routing.Selector, g *Graph, src, dst topology.NodeID) {
+	type state struct {
+		cur     topology.NodeID
+		holding topology.ChannelID
+	}
+	seen := make(map[state]bool)
+	var walk func(cur topology.NodeID, holding topology.ChannelID)
+	walk = func(cur topology.NodeID, holding topology.ChannelID) {
+		if cur == dst {
+			return
+		}
+		st := state{cur, holding}
+		if seen[st] {
+			return
+		}
+		seen[st] = true
+		for _, next := range sel.NextHops(cur, dst) {
+			ch := m.Channel(cur, next)
+			if ch == topology.InvalidChannel {
+				panic(fmt.Sprintf("cdg: %s proposed non-adjacent hop %d -> %d", sel.Name(), cur, next))
+			}
+			if holding != topology.InvalidChannel {
+				g.AddDependency(holding, ch)
+			}
+			walk(next, ch)
+		}
+	}
+	walk(src, topology.InvalidChannel)
+}
+
+// FindCycle returns a cycle in the dependency graph as a channel
+// sequence (first == last), or nil if the graph is acyclic — i.e. the
+// routing function is deadlock-free by the Dally-Seitz criterion.
+func (g *Graph) FindCycle() []topology.ChannelID {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[topology.ChannelID]int)
+	parent := make(map[topology.ChannelID]topology.ChannelID)
+
+	var cycleStart, cycleEnd topology.ChannelID
+	found := false
+
+	var dfs func(c topology.ChannelID) bool
+	dfs = func(c topology.ChannelID) bool {
+		color[c] = grey
+		for next := range g.edges[c] {
+			switch color[next] {
+			case white:
+				parent[next] = c
+				if dfs(next) {
+					return true
+				}
+			case grey:
+				cycleStart, cycleEnd = next, c
+				found = true
+				return true
+			}
+		}
+		color[c] = black
+		return false
+	}
+
+	for c := range g.edges {
+		if color[c] == white && dfs(c) {
+			break
+		}
+	}
+	if !found {
+		return nil
+	}
+	cycle := []topology.ChannelID{cycleStart}
+	for c := cycleEnd; c != cycleStart; c = parent[c] {
+		cycle = append(cycle, c)
+	}
+	cycle = append(cycle, cycleStart)
+	// Reverse into forward order.
+	for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+		cycle[i], cycle[j] = cycle[j], cycle[i]
+	}
+	return cycle
+}
+
+// DeadlockFree reports whether the routing function's channel
+// dependency graph over m is acyclic.
+func DeadlockFree(m *topology.Mesh, sel routing.Selector) bool {
+	return Build(m, sel).FindCycle() == nil
+}

@@ -1,0 +1,110 @@
+package cdg
+
+import (
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestDORIsDeadlockFree(t *testing.T) {
+	for _, dims := range [][]int{{4, 4}, {3, 3, 3}, {5, 2}} {
+		m := topology.NewMesh(dims...)
+		if !DeadlockFree(m, routing.NewDOR(m)) {
+			t.Errorf("DOR has a dependency cycle on %s", m.Name())
+		}
+	}
+}
+
+func TestWestFirstIsDeadlockFree(t *testing.T) {
+	for _, dims := range [][]int{{4, 4}, {3, 3, 3}} {
+		m := topology.NewMesh(dims...)
+		if !DeadlockFree(m, routing.NewWestFirst(m)) {
+			t.Errorf("west-first has a dependency cycle on %s", m.Name())
+		}
+	}
+}
+
+func TestOddEvenIsDeadlockFree(t *testing.T) {
+	for _, dims := range [][]int{{4, 4}, {5, 4}, {3, 3, 2}} {
+		m := topology.NewMesh(dims...)
+		if !DeadlockFree(m, routing.NewOddEven(m)) {
+			t.Errorf("odd-even has a dependency cycle on %s", m.Name())
+		}
+	}
+}
+
+// fullyAdaptive is a deliberately deadlock-prone minimal routing
+// function: every profitable direction is always allowed. Dally &
+// Seitz's criterion must reject it on any mesh with a 2D sub-plane of
+// extent >= 2, because unrestricted turns close dependency cycles.
+type fullyAdaptive struct {
+	m *topology.Mesh
+}
+
+func (r fullyAdaptive) Name() string { return "fully-adaptive" }
+
+func (r fullyAdaptive) NextHops(cur, dst topology.NodeID) []topology.NodeID {
+	var out []topology.NodeID
+	for d := 0; d < r.m.NDims(); d++ {
+		cc, dc := r.m.CoordAxis(cur, d), r.m.CoordAxis(dst, d)
+		if cc == dc {
+			continue
+		}
+		coord := r.m.Coord(cur)
+		if dc > cc {
+			coord[d]++
+		} else {
+			coord[d]--
+		}
+		out = append(out, r.m.ID(coord...))
+	}
+	return out
+}
+
+func TestFullyAdaptiveHasCycle(t *testing.T) {
+	m := topology.NewMesh(3, 3)
+	g := Build(m, fullyAdaptive{m})
+	cycle := g.FindCycle()
+	if cycle == nil {
+		t.Fatal("unrestricted minimal adaptive routing reported deadlock-free")
+	}
+	if len(cycle) < 3 {
+		t.Fatalf("cycle too short: %v", cycle)
+	}
+	if cycle[0] != cycle[len(cycle)-1] {
+		t.Fatalf("cycle not closed: %v", cycle)
+	}
+	// Every consecutive pair must be a recorded dependency.
+	for i := 0; i+1 < len(cycle); i++ {
+		if !g.edges[cycle[i]][cycle[i+1]] {
+			t.Fatalf("cycle edge %d->%d not in graph", cycle[i], cycle[i+1])
+		}
+	}
+}
+
+func TestGraphEdgeCounting(t *testing.T) {
+	g := NewGraph()
+	g.AddDependency(1, 2)
+	g.AddDependency(1, 2) // duplicate
+	g.AddDependency(2, 3)
+	if g.Edges() != 2 {
+		t.Fatalf("edges = %d, want 2", g.Edges())
+	}
+	if g.FindCycle() != nil {
+		t.Fatal("acyclic graph reported a cycle")
+	}
+	g.AddDependency(3, 1)
+	if g.FindCycle() == nil {
+		t.Fatal("3-cycle not found")
+	}
+}
+
+func TestDependencyCountsGrowWithAdaptivity(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	dor := Build(m, routing.NewDOR(m)).Edges()
+	wf := Build(m, routing.NewWestFirst(m)).Edges()
+	if wf <= dor {
+		t.Errorf("west-first dependencies (%d) not above DOR (%d)", wf, dor)
+	}
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/broadcast"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Ablation drivers for the design choices DESIGN.md calls out. They
+// are not paper artifacts; they quantify how much each modelling
+// decision matters.
+
+// AblationConfig parameterises the ablation sweeps.
+type AblationConfig struct {
+	// Dims is the mesh shape (default 8×8×8).
+	Dims []int
+	// Length is the message length in flits (default 100).
+	Length int
+	// Reps is the number of random-source replications (default 10).
+	Reps int
+	// Seed drives source selection.
+	Seed uint64
+}
+
+func (c *AblationConfig) setDefaults() {
+	if c.Dims == nil {
+		c.Dims = []int{8, 8, 8}
+	}
+	if c.Length == 0 {
+		c.Length = 100
+	}
+	if c.Reps == 0 {
+		c.Reps = 10
+	}
+}
+
+// AblationMessageLength sweeps the paper's stated message-length
+// range (32–2048 flits): latency should shift by L·β while the
+// algorithm ordering is preserved (wormhole distance insensitivity).
+func AblationMessageLength(cfg AblationConfig) (*Figure, error) {
+	cfg.setDefaults()
+	m := topology.NewMesh(cfg.Dims...)
+	fig := &Figure{
+		ID:     "Ablation-L",
+		Title:  fmt.Sprintf("Broadcast latency vs message length on %s", m.Name()),
+		XLabel: "flits",
+		YLabel: "latency (µs)",
+	}
+	for _, algo := range PaperAlgorithms() {
+		s := Series{Label: algo.Name()}
+		for _, length := range []int{32, 64, 128, 256, 512, 1024, 2048} {
+			st, err := metrics.SingleSourceStudy(m, algo, baseConfig(1.5), length, cfg.Reps, cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("ablation-L %s: %w", algo.Name(), err)
+			}
+			s.Points = append(s.Points, Point{X: float64(length), Y: st.Latency.Mean()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// AblationHopDelay sweeps the header per-hop routing delay across two
+// orders of magnitude. DB and AB use long coded paths, so they are
+// the algorithms a pessimistic router model would hurt; the sweep
+// quantifies how far the paper's conclusions survive.
+func AblationHopDelay(cfg AblationConfig) (*Figure, error) {
+	cfg.setDefaults()
+	m := topology.NewMesh(cfg.Dims...)
+	fig := &Figure{
+		ID:     "Ablation-hop",
+		Title:  fmt.Sprintf("Broadcast latency vs header hop delay on %s (L=%d)", m.Name(), cfg.Length),
+		XLabel: "hop delay (µs)",
+		YLabel: "latency (µs)",
+	}
+	for _, algo := range PaperAlgorithms() {
+		s := Series{Label: algo.Name()}
+		for _, hop := range []float64{0.003, 0.01, 0.03, 0.1, 0.3} {
+			ncfg := baseConfig(1.5)
+			ncfg.HopDelay = hop
+			st, err := metrics.SingleSourceStudy(m, algo, ncfg, cfg.Length, cfg.Reps, cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("ablation-hop %s: %w", algo.Name(), err)
+			}
+			s.Points = append(s.Points, Point{X: hop, Y: st.Latency.Mean()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// AblationAdaptiveSubstrate compares AB over its west-first turn
+// model against AB over the odd-even turn model ([7], the alternative
+// the paper names) and against plain dimension-order routing.
+func AblationAdaptiveSubstrate(cfg AblationConfig) (*Figure, error) {
+	cfg.setDefaults()
+	m := topology.NewMesh(cfg.Dims...)
+	fig := &Figure{
+		ID:     "Ablation-substrate",
+		Title:  fmt.Sprintf("AB latency by routing substrate on %s (L=%d)", m.Name(), cfg.Length),
+		XLabel: "replication",
+		YLabel: "latency (µs)",
+	}
+	substrates := []struct {
+		name string
+		sel  routing.Selector
+	}{
+		{"west-first", routing.NewWestFirst(m)},
+		{"odd-even", routing.NewOddEven(m)},
+		{"dor", nil},
+	}
+	ab := broadcast.NewAB()
+	rng := sim.NewRNG(cfg.Seed, 53)
+	sources := make([]topology.NodeID, cfg.Reps)
+	for i := range sources {
+		sources[i] = topology.NodeID(rng.Intn(m.Nodes()))
+	}
+	for _, sub := range substrates {
+		s := Series{Label: sub.name}
+		for i, src := range sources {
+			plan, err := ab.Plan(m, src)
+			if err != nil {
+				return nil, err
+			}
+			if err := plan.Validate(m); err != nil {
+				return nil, err
+			}
+			sm := sim.New()
+			net, err := network.New(sm, m, baseConfig(1.5))
+			if err != nil {
+				return nil, err
+			}
+			r, err := broadcast.Execute(net, plan, broadcast.Options{
+				Length:   cfg.Length,
+				Adaptive: sub.sel,
+				Tag:      "ablation",
+			})
+			if err != nil {
+				return nil, err
+			}
+			sm.Run()
+			if !r.Done {
+				return nil, fmt.Errorf("ablation-substrate %s: broadcast stalled", sub.name)
+			}
+			s.Points = append(s.Points, Point{X: float64(i), Y: r.Latency()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// AblationPortModel runs every algorithm under one-port and
+// three-port routers: EDN is the algorithm whose schedule needs the
+// fan-out, so it should gain the most from the extra ports.
+func AblationPortModel(cfg AblationConfig) (*Figure, error) {
+	cfg.setDefaults()
+	m := topology.NewMesh(cfg.Dims...)
+	fig := &Figure{
+		ID:     "Ablation-ports",
+		Title:  fmt.Sprintf("Broadcast latency vs injection ports on %s (L=%d)", m.Name(), cfg.Length),
+		XLabel: "ports",
+		YLabel: "latency (µs)",
+	}
+	for _, algo := range PaperAlgorithms() {
+		s := Series{Label: algo.Name()}
+		for _, ports := range []int{1, 3} {
+			ncfg := baseConfig(1.5)
+			ncfg.Ports = ports
+			var acc float64
+			rng := sim.NewRNG(cfg.Seed, 59)
+			for i := 0; i < cfg.Reps; i++ {
+				src := topology.NodeID(rng.Intn(m.Nodes()))
+				plan, err := algo.Plan(m, src)
+				if err != nil {
+					return nil, err
+				}
+				sm := sim.New()
+				net, err := network.New(sm, m, ncfg)
+				if err != nil {
+					return nil, err
+				}
+				var adaptive routing.Selector
+				if algo.Name() == "AB" {
+					adaptive = routing.NewWestFirst(m)
+				}
+				r, err := broadcast.Execute(net, plan, broadcast.Options{
+					Length:   cfg.Length,
+					Adaptive: adaptive,
+					Tag:      "ablation",
+				})
+				if err != nil {
+					return nil, err
+				}
+				sm.Run()
+				if !r.Done {
+					return nil, fmt.Errorf("ablation-ports %s: broadcast stalled", algo.Name())
+				}
+				acc += r.Latency()
+			}
+			s.Points = append(s.Points, Point{X: float64(ports), Y: acc / float64(cfg.Reps)})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

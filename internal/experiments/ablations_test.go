@@ -1,0 +1,80 @@
+package experiments
+
+import "testing"
+
+func quickAblation() AblationConfig {
+	return AblationConfig{Dims: []int{4, 4, 4}, Length: 64, Reps: 3, Seed: 5}
+}
+
+func TestAblationMessageLength(t *testing.T) {
+	fig, err := AblationMessageLength(quickAblation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latency must rise with message length for every algorithm
+	// (each step pays L·β), and the rise from 32 to 2048 flits must
+	// be close to the added serialisation of the extra flits.
+	for _, s := range fig.Series {
+		first, last := s.Points[0], s.Points[len(s.Points)-1]
+		if last.Y <= first.Y {
+			t.Errorf("%s: latency did not grow with length (%.2f -> %.2f)", s.Label, first.Y, last.Y)
+		}
+	}
+}
+
+func TestAblationHopDelay(t *testing.T) {
+	fig, err := AblationHopDelay(quickAblation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Y < s.Points[i-1].Y {
+				t.Errorf("%s: latency fell as hop delay rose (%v)", s.Label, s.Points)
+			}
+		}
+	}
+}
+
+func TestAblationAdaptiveSubstrate(t *testing.T) {
+	fig, err := AblationAdaptiveSubstrate(quickAblation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("substrates = %d, want 3", len(fig.Series))
+	}
+	// On an idle network all three substrates must complete with
+	// comparable latency (adaptivity only matters under contention).
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Errorf("%s: non-positive latency", s.Label)
+			}
+		}
+	}
+}
+
+func TestAblationPortModel(t *testing.T) {
+	fig, err := AblationPortModel(quickAblation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := seriesMap(fig)
+	// EDN's doubling phase needs the three-port router: one port must
+	// be slower or equal, and strictly slower for EDN.
+	edn := series["EDN"]
+	if len(edn.Points) != 2 {
+		t.Fatalf("EDN points = %v", edn.Points)
+	}
+	onePort, threePort := edn.Points[0].Y, edn.Points[1].Y
+	if threePort >= onePort {
+		t.Errorf("EDN did not benefit from three ports (%.2f vs %.2f)", threePort, onePort)
+	}
+	// RD never uses more than one port per step, so extra ports must
+	// not change its latency.
+	rd := series["RD"]
+	if rd.Points[0].Y != rd.Points[1].Y {
+		t.Errorf("RD latency changed with ports (%v)", rd.Points)
+	}
+}

@@ -1,0 +1,103 @@
+// Package experiments reproduces every table and figure of the
+// paper's evaluation section. Each driver returns a structured result
+// that prints in the same rows/series the paper reports; cmd/paperbench
+// runs them all and EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/broadcast"
+	"repro/internal/network"
+)
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one algorithm's curve in a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a reproduced paper figure: one series per algorithm.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// String implements fmt.Stringer via Format.
+func (f *Figure) String() string { return f.Format() }
+
+// Format renders the figure as an aligned text table, x values as
+// rows and algorithms as columns — the shape of the paper's plots.
+func (f *Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%12s", s.Label)
+	}
+	b.WriteByte('\n')
+
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%-14g", x)
+		for _, s := range f.Series {
+			y, ok := lookup(s, x)
+			if !ok {
+				fmt.Fprintf(&b, "%12s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, "%12.4f", y)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func lookup(s Series, x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// PaperAlgorithms returns the four algorithms in the paper's
+// presentation order.
+func PaperAlgorithms() []broadcast.Algorithm {
+	return []broadcast.Algorithm{
+		broadcast.NewRD(),
+		broadcast.NewEDN(),
+		broadcast.NewDB(),
+		broadcast.NewAB(),
+	}
+}
+
+// baseConfig returns the paper's network constants with the given
+// startup latency.
+func baseConfig(ts float64) network.Config {
+	cfg := network.DefaultConfig()
+	cfg.Ts = ts
+	return cfg
+}

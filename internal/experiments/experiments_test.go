@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quick replication counts keep the shape tests fast; the full-size
+// runs live in cmd/paperbench and the root benchmarks.
+const quickReps = 6
+
+// TestFig1Shape asserts the paper's Fig. 1 qualitative claims: DB and
+// AB beat RD and EDN at every size, RD and EDN degrade as the network
+// grows while DB and AB stay nearly flat, and EDN ≈ DB at 4×4×4.
+func TestFig1Shape(t *testing.T) {
+	fig, err := Fig1(Fig1Config{Reps: quickReps, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := seriesMap(fig)
+	sizes := []float64{64, 512, 1000, 4096}
+	for _, n := range sizes {
+		rd, edn, db, ab := at(t, series, "RD", n), at(t, series, "EDN", n), at(t, series, "DB", n), at(t, series, "AB", n)
+		if db >= rd || ab >= rd {
+			t.Errorf("N=%g: proposed (DB %.2f, AB %.2f) not below RD %.2f", n, db, ab, rd)
+		}
+		if db >= edn && ab >= edn {
+			t.Errorf("N=%g: neither DB %.2f nor AB %.2f below EDN %.2f", n, db, ab, edn)
+		}
+	}
+	// Scalability: RD grows substantially from 64 to 4096; DB stays
+	// within 25%.
+	if at(t, series, "RD", 4096) < 1.5*at(t, series, "RD", 64) {
+		t.Error("RD latency did not grow with network size")
+	}
+	if at(t, series, "DB", 4096) > 1.25*at(t, series, "DB", 64) {
+		t.Error("DB latency not size-insensitive")
+	}
+	// EDN and DB comparable at 4x4x4 (paper: same step count there).
+	edn64, db64 := at(t, series, "EDN", 64), at(t, series, "DB", 64)
+	if edn64 > 1.6*db64 {
+		t.Errorf("EDN (%.2f) not comparable to DB (%.2f) at N=64", edn64, db64)
+	}
+}
+
+// TestFig1StartupLatencyCompresses asserts §3.1: a 10× smaller Ts
+// shrinks every algorithm's latency.
+func TestFig1StartupLatencyCompresses(t *testing.T) {
+	cfg := Fig1Config{Sizes: [][]int{{8, 8, 8}}, Reps: quickReps, Seed: 11}
+	big, err := Fig1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Fig1StartupLatency(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigS, smallS := seriesMap(big), seriesMap(small)
+	for _, algo := range []string{"RD", "EDN", "DB", "AB"} {
+		hi, lo := at(t, bigS, algo, 512), at(t, smallS, algo, 512)
+		if lo >= hi {
+			t.Errorf("%s: Ts=0.15 latency %.2f not below Ts=1.5 latency %.2f", algo, lo, hi)
+		}
+	}
+	if small.ID != "Fig.1b" {
+		t.Errorf("startup figure ID = %q", small.ID)
+	}
+}
+
+// TestFig2Shape asserts the node-level claims: the coded-path
+// algorithms have lower arrival-time CV than RD and EDN at every
+// size.
+func TestFig2Shape(t *testing.T) {
+	fig, err := Fig2(Fig2Config{Reps: 12, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := seriesMap(fig)
+	for _, n := range []float64{64, 256, 512, 1024} {
+		rd, edn := at(t, series, "RD", n), at(t, series, "EDN", n)
+		db, ab := at(t, series, "DB", n), at(t, series, "AB", n)
+		worstProposed := db
+		if ab > worstProposed {
+			worstProposed = ab
+		}
+		if worstProposed >= rd && worstProposed >= edn {
+			t.Errorf("N=%g: proposed CVs (DB %.3f, AB %.3f) not below both baselines (RD %.3f, EDN %.3f)",
+				n, db, ab, rd, edn)
+		}
+	}
+}
+
+// TestTablesImprovementsPositiveAndGrow asserts Tables 1–2: DB and AB
+// improve over both baselines at every size, and the improvement over
+// RD grows from the smallest to the largest network.
+func TestTablesImprovementsPositiveAndGrow(t *testing.T) {
+	// The growth comparison needs the paper's full 40 replications
+	// and averaging over several independent experiment sets;
+	// sampling noise at a single seed can flatten it.
+	seeds := []uint64{13, 99, 2005}
+	var firstDB, lastDB float64
+	for _, seed := range seeds {
+		t1, t2, err := Tables(Fig2Config{Reps: 40, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tbl := range []*CVTable{t1, t2} {
+			if len(tbl.Columns) != 4 {
+				t.Fatalf("%s has %d columns", tbl.ID, len(tbl.Columns))
+			}
+			for _, col := range tbl.Columns {
+				for _, row := range col.Rows {
+					if row.Improvement <= 0 {
+						t.Errorf("%s at %s (seed %d): %s improvement %.1f%% not positive",
+							tbl.ID, col.Mesh, seed, row.Baseline, row.Improvement)
+					}
+				}
+			}
+		}
+		firstDB += t1.Columns[0].Rows[0].Improvement
+		lastDB += t1.Columns[3].Rows[0].Improvement
+	}
+	// Growth with size is asserted for DB only: the paper's own text
+	// (§3.2) notes AB's longer third-step paths raise its CV in
+	// larger networks, contradicting its Table 2; our reproduction
+	// sides with the text (see EXPERIMENTS.md).
+	n := float64(len(seeds))
+	if lastDB/n <= firstDB/n {
+		t.Errorf("Table 1: mean DB improvement over RD did not grow with size (%.1f%% -> %.1f%%)",
+			firstDB/n, lastDB/n)
+	}
+}
+
+// TestFig34Shape asserts §3.3 on a reduced sweep: latency rises with
+// load, RD is worst at high load, and AB stays lowest.
+func TestFig34Shape(t *testing.T) {
+	fig, err := Fig34(Fig34Config{
+		Dims:      []int{8, 8, 8},
+		Loads:     []float64{0.005, 0.05},
+		BatchSize: 40, Batches: 5, Warmup: 1,
+		Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := seriesMap(fig)
+	lo, hi := 0.005, 0.05
+	for _, algo := range []string{"RD", "EDN", "DB", "AB"} {
+		if at(t, series, algo, hi) <= at(t, series, algo, lo)*0.8 {
+			t.Errorf("%s: latency fell with load (%.2f -> %.2f)",
+				algo, at(t, series, algo, lo), at(t, series, algo, hi))
+		}
+	}
+	rdHi := at(t, series, "RD", hi)
+	for _, algo := range []string{"EDN", "DB", "AB"} {
+		if at(t, series, algo, hi) >= rdHi {
+			t.Errorf("%s (%.2f) not below RD (%.2f) at high load", algo, at(t, series, algo, hi), rdHi)
+		}
+	}
+	abHi := at(t, series, "AB", hi)
+	if abHi >= at(t, series, "DB", hi) || abHi >= at(t, series, "EDN", hi) {
+		t.Errorf("AB (%.2f) not best at high load", abHi)
+	}
+	if fig.ID != "Fig.3" {
+		t.Errorf("figure ID = %q", fig.ID)
+	}
+}
+
+// TestFigureFormat checks the text rendering used by cmd/paperbench.
+func TestFigureFormat(t *testing.T) {
+	fig := &Figure{
+		ID:     "Fig.X",
+		Title:  "test",
+		XLabel: "nodes",
+		Series: []Series{
+			{Label: "RD", Points: []Point{{64, 1.5}, {512, 2.5}}},
+			{Label: "DB", Points: []Point{{64, 1.0}}},
+		},
+	}
+	out := fig.Format()
+	for _, want := range []string{"Fig.X", "RD", "DB", "64", "512", "1.5000", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format output missing %q:\n%s", want, out)
+		}
+	}
+	if fig.String() != out {
+		t.Error("String() != Format()")
+	}
+}
+
+func seriesMap(f *Figure) map[string]Series {
+	out := map[string]Series{}
+	for _, s := range f.Series {
+		out[s.Label] = s
+	}
+	return out
+}
+
+func at(t *testing.T, series map[string]Series, label string, x float64) float64 {
+	t.Helper()
+	s, ok := series[label]
+	if !ok {
+		t.Fatalf("no series %q", label)
+	}
+	y, ok := lookup(s, x)
+	if !ok {
+		t.Fatalf("series %q has no point at %g", label, x)
+	}
+	return y
+}

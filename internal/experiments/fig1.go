@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+// Fig1Config parameterises the Fig. 1 sweep (broadcast latency vs
+// network size) and the §3.1 startup-latency sensitivity study.
+type Fig1Config struct {
+	// Sizes lists the mesh shapes; nil means the paper's
+	// 4³, 8³, 10³, 16³ (64–4096 nodes).
+	Sizes [][]int
+	// Length is the message length in flits (paper: 100).
+	Length int
+	// Ts is the startup latency in µs (paper: 1.5; §3.1 also 0.15).
+	Ts float64
+	// Reps is the number of random-source replications per point
+	// (paper: at least 40).
+	Reps int
+	// Seed drives source selection.
+	Seed uint64
+}
+
+func (c *Fig1Config) setDefaults() {
+	if c.Sizes == nil {
+		c.Sizes = [][]int{{4, 4, 4}, {8, 8, 8}, {10, 10, 10}, {16, 16, 16}}
+	}
+	if c.Length == 0 {
+		c.Length = 100
+	}
+	if c.Ts == 0 {
+		c.Ts = 1.5
+	}
+	if c.Reps == 0 {
+		c.Reps = 40
+	}
+}
+
+// Fig1 reproduces Fig. 1: single-source broadcast latency of the four
+// algorithms as a function of network size.
+func Fig1(cfg Fig1Config) (*Figure, error) {
+	cfg.setDefaults()
+	fig := &Figure{
+		ID:     "Fig.1",
+		Title:  fmt.Sprintf("Broadcast latency vs network size (L=%d flits, Ts=%g µs)", cfg.Length, cfg.Ts),
+		XLabel: "nodes",
+		YLabel: "latency (µs)",
+	}
+	for _, algo := range PaperAlgorithms() {
+		s := Series{Label: algo.Name()}
+		for _, dims := range cfg.Sizes {
+			m := topology.NewMesh(dims...)
+			ncfg := baseConfig(cfg.Ts)
+			st, err := metrics.SingleSourceStudy(m, algo, ncfg, cfg.Length, cfg.Reps, cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("fig1 %s on %s: %w", algo.Name(), m.Name(), err)
+			}
+			s.Points = append(s.Points, Point{X: float64(m.Nodes()), Y: st.Latency.Mean()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig1StartupLatency reproduces the §3.1 sensitivity study: the same
+// sweep at the smaller startup latency Ts = 0.15 µs.
+func Fig1StartupLatency(cfg Fig1Config) (*Figure, error) {
+	cfg.setDefaults()
+	cfg.Ts = 0.15
+	fig, err := Fig1(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fig.ID = "Fig.1b"
+	return fig, nil
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/broadcast"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+// Fig2Config parameterises the node-level study: Fig. 2 (coefficient
+// of variation vs network size) and Tables 1 and 2 (CV plus
+// improvement percentages).
+//
+// The paper measures arrival-time variation over "at least 40
+// experiments" with randomly chosen sources; its §3.2 numbers (RD's
+// CV growing with network size) are only consistent with broadcasts
+// that overlap in the network and contend for channels, so the
+// default study injects the measured broadcasts with exponential
+// inter-arrival times into one shared network. Set Interarrival very
+// large (or use metrics.SingleSourceStudy directly) for the
+// uncontended ablation.
+type Fig2Config struct {
+	// Sizes lists the mesh shapes; nil means the paper's 4×4×4,
+	// 4×4×16, 8×8×8, 8×8×16 (64–1024 nodes).
+	Sizes [][]int
+	// Length is the message length in flits (Fig. 2 caption: 100;
+	// Tables: 64).
+	Length int
+	// Ts is the startup latency in µs (paper: 1.5).
+	Ts float64
+	// Reps is the number of measured broadcasts (paper: ≥40).
+	Reps int
+	// Interarrival is the mean gap between broadcast initiations in
+	// µs. Zero means 5 µs — light overlapping load.
+	Interarrival float64
+	// PerNodeInterarrival, when set, overrides Interarrival with
+	// PerNodeInterarrival/Nodes so the per-node broadcast rate is
+	// constant across sizes (larger networks carry more concurrent
+	// broadcasts, the regime in which RD's CV grows with size as in
+	// the paper's tables).
+	PerNodeInterarrival float64
+	// Seed drives source selection.
+	Seed uint64
+}
+
+func (c *Fig2Config) setDefaults() {
+	if c.Sizes == nil {
+		c.Sizes = [][]int{{4, 4, 4}, {4, 4, 16}, {8, 8, 8}, {8, 8, 16}}
+	}
+	if c.Length == 0 {
+		c.Length = 64
+	}
+	if c.Ts == 0 {
+		c.Ts = 1.5
+	}
+	if c.Reps == 0 {
+		c.Reps = 40
+	}
+	if c.Interarrival == 0 {
+		c.Interarrival = 5
+	}
+}
+
+func (c *Fig2Config) gapFor(nodes int) float64 {
+	if c.PerNodeInterarrival > 0 {
+		return c.PerNodeInterarrival / float64(nodes)
+	}
+	return c.Interarrival
+}
+
+// Fig2 reproduces Fig. 2: the coefficient of variation of message
+// arrival times at the destination nodes, per algorithm, vs size.
+func Fig2(cfg Fig2Config) (*Figure, error) {
+	cfg.setDefaults()
+	fig := &Figure{
+		ID:     "Fig.2",
+		Title:  fmt.Sprintf("Coefficient of variation of arrival times vs network size (L=%d, Ts=%g µs)", cfg.Length, cfg.Ts),
+		XLabel: "nodes",
+		YLabel: "CV",
+	}
+	for _, algo := range PaperAlgorithms() {
+		s := Series{Label: algo.Name()}
+		for _, dims := range cfg.Sizes {
+			m := topology.NewMesh(dims...)
+			st, err := metrics.ContendedCVStudy(m, algo, metrics.ContendedConfig{
+				Net:          baseConfig(cfg.Ts),
+				Length:       cfg.Length,
+				Broadcasts:   cfg.Reps,
+				Interarrival: cfg.gapFor(m.Nodes()),
+				Seed:         cfg.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig2 %s on %s: %w", algo.Name(), m.Name(), err)
+			}
+			s.Points = append(s.Points, Point{X: float64(m.Nodes()), Y: st.CV.Mean()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// CVTable is one of the paper's Tables 1/2: per mesh size, the CV of
+// the baselines and the improvement of the proposed algorithm.
+type CVTable struct {
+	ID       string
+	Proposed string
+	Columns  []CVColumn
+}
+
+// CVColumn is one mesh-size column of a CVTable.
+type CVColumn struct {
+	Mesh       string
+	Nodes      int
+	ProposedCV float64
+	Rows       []metrics.ImprovementRow
+}
+
+// String implements fmt.Stringer via Format.
+func (t *CVTable) String() string { return t.Format() }
+
+// Format renders the table in the paper's layout: baselines as rows,
+// sizes as columns, each cell CV and improvement%.
+func (t *CVTable) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: CV of broadcast latencies with %s improvement (%sIMR%%)\n", t.ID, t.Proposed, t.Proposed)
+	fmt.Fprintf(&b, "%-10s", "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%22s", fmt.Sprintf("%s (%d)", c.Mesh, c.Nodes))
+	}
+	b.WriteByte('\n')
+	if len(t.Columns) == 0 {
+		return b.String()
+	}
+	for i := range t.Columns[0].Rows {
+		fmt.Fprintf(&b, "%-10s", t.Columns[0].Rows[i].Baseline)
+		for _, c := range t.Columns {
+			r := c.Rows[i]
+			fmt.Fprintf(&b, "%22s", fmt.Sprintf("CV %.4f  +%.2f%%", r.BaselineCV, r.Improvement))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-10s", t.Proposed)
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%22s", fmt.Sprintf("CV %.4f", c.ProposedCV))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Tables reproduces Tables 1 and 2: CV of RD and EDN with the
+// improvement percentages of DB (Table 1) and AB (Table 2).
+func Tables(cfg Fig2Config) (*CVTable, *CVTable, error) {
+	cfg.setDefaults()
+	rd, edn, db, ab := broadcast.NewRD(), broadcast.NewEDN(), broadcast.NewDB(), broadcast.NewAB()
+
+	t1 := &CVTable{ID: "Table 1", Proposed: "DB"}
+	t2 := &CVTable{ID: "Table 2", Proposed: "AB"}
+	for _, dims := range cfg.Sizes {
+		m := topology.NewMesh(dims...)
+		stats := map[string]*metrics.SingleSourceStats{}
+		for _, algo := range []broadcast.Algorithm{rd, edn, db, ab} {
+			st, err := metrics.ContendedCVStudy(m, algo, metrics.ContendedConfig{
+				Net:          baseConfig(cfg.Ts),
+				Length:       cfg.Length,
+				Broadcasts:   cfg.Reps,
+				Interarrival: cfg.gapFor(m.Nodes()),
+				Seed:         cfg.Seed,
+			})
+			if err != nil {
+				return nil, nil, fmt.Errorf("tables %s on %s: %w", algo.Name(), m.Name(), err)
+			}
+			stats[algo.Name()] = st
+		}
+		t1.Columns = append(t1.Columns, CVColumn{
+			Mesh:       m.Name(),
+			Nodes:      m.Nodes(),
+			ProposedCV: stats["DB"].CV.Mean(),
+			Rows:       metrics.Improvements(stats["DB"], stats["RD"], stats["EDN"]),
+		})
+		t2.Columns = append(t2.Columns, CVColumn{
+			Mesh:       m.Name(),
+			Nodes:      m.Nodes(),
+			ProposedCV: stats["AB"].CV.Mean(),
+			Rows:       metrics.Improvements(stats["AB"], stats["RD"], stats["EDN"]),
+		})
+	}
+	return t1, t2, nil
+}

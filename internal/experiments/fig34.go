@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Fig34Config parameterises the mixed unicast/broadcast study of
+// §3.3 (Figs. 3 and 4): every node generates messages at exponential
+// intervals, 90% unicast to uniform destinations and 10% broadcast.
+type Fig34Config struct {
+	// Dims is the mesh shape: {8,8,8} for Fig. 3, {16,16,8} for Fig. 4.
+	Dims []int
+	// Loads are per-node generation rates in messages/ms on the
+	// paper's axis (0.005 … 0.05); nil means the paper's seven
+	// points.
+	Loads []float64
+	// LoadScale multiplies the injected rate. The paper's axis spans
+	// its simulator's saturation region, whose service times are two
+	// to three orders of magnitude above what its stated Cray-T3D
+	// constants (Ts=1.5 µs, β=0.003 µs/flit) produce; with those
+	// constants the same saturation region sits at roughly 320× the
+	// paper's rates. The default keeps the paper's axis labels and
+	// scales the injected rate by 320 so the reproduced curves
+	// traverse the same regimes (see EXPERIMENTS.md). Set to 1 for
+	// literal rates.
+	LoadScale float64
+	// Length is the message length in flits (paper: 32).
+	Length int
+	// BroadcastFraction defaults to the paper's 0.10.
+	BroadcastFraction float64
+	// BatchSize, Batches, Warmup configure batch means (paper: 21
+	// batches, first discarded).
+	BatchSize, Batches, Warmup int
+	// Seed drives all randomness.
+	Seed uint64
+	// MaxTime bounds each run in simulated µs; a saturated run is cut
+	// off and reported at its diverging floor estimate.
+	MaxTime sim.Time
+	// MaxInjected bounds the injected messages per run. Zero picks
+	// 10× the measured window on meshes up to 1024 nodes and 3× above
+	// — a saturated RD point on 16×16×8 otherwise simulates millions
+	// of worms for no extra information.
+	MaxInjected int
+}
+
+func (c *Fig34Config) setDefaults() {
+	if c.Dims == nil {
+		c.Dims = []int{8, 8, 8}
+	}
+	if c.Loads == nil {
+		c.Loads = []float64{0.005, 0.006, 0.01, 0.02, 0.025, 0.03, 0.05}
+	}
+	if c.Length == 0 {
+		c.Length = 32
+	}
+	if c.BroadcastFraction == 0 {
+		c.BroadcastFraction = 0.10
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 100
+	}
+	if c.Batches == 0 {
+		c.Batches = 21
+		c.Warmup = 1
+	}
+	if c.LoadScale == 0 {
+		c.LoadScale = 320
+	}
+}
+
+// Fig34 reproduces Fig. 3 (8×8×8) or Fig. 4 (16×16×8) depending on
+// Dims: mean communication latency vs offered load per algorithm.
+// RD, EDN and DB run over dimension-order unicast routing; AB couples
+// with west-first adaptive routing, to which the paper attributes its
+// advantage under load.
+func Fig34(cfg Fig34Config) (*Figure, error) {
+	cfg.setDefaults()
+	m := topology.NewMesh(cfg.Dims...)
+	id := "Fig.3"
+	if m.Nodes() != 512 {
+		id = "Fig.4"
+	}
+	fig := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("Mean latency vs traffic load on %s (L=%d flits, 90%% unicast / 10%% broadcast)", m.Name(), cfg.Length),
+		XLabel: "load (msg/ms)",
+		YLabel: "latency (µs)",
+	}
+	maxInjected := cfg.MaxInjected
+	if maxInjected <= 0 {
+		window := cfg.Batches * cfg.BatchSize
+		if m.Nodes() > 1024 {
+			maxInjected = 3 * window
+		} else {
+			maxInjected = 10 * window
+		}
+	}
+	for _, algo := range PaperAlgorithms() {
+		s := Series{Label: algo.Name()}
+		var unicast, adaptive routing.Selector
+		if algo.Name() == "AB" {
+			wf := routing.NewWestFirst(m)
+			unicast, adaptive = wf, wf
+		}
+		for i, load := range cfg.Loads {
+			tcfg := traffic.MixedConfig{
+				Rate:              load * cfg.LoadScale / 1000, // messages/ms -> messages/µs
+				BroadcastFraction: cfg.BroadcastFraction,
+				Length:            cfg.Length,
+				Algorithm:         algo,
+				Unicast:           unicast,
+				Adaptive:          adaptive,
+				Seed:              cfg.Seed + uint64(i)*1009,
+				BatchSize:         cfg.BatchSize,
+				Batches:           cfg.Batches,
+				Warmup:            cfg.Warmup,
+				MaxTime:           cfg.MaxTime,
+				MaxInjected:       maxInjected,
+			}
+			r, err := traffic.RunMixed(m, tcfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s at %g msg/ms: %w", id, algo.Name(), load, err)
+			}
+			s.Points = append(s.Points, Point{X: load, Y: r.MeanLatency})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

@@ -1,0 +1,75 @@
+// Package export serialises experiment results for downstream
+// plotting: figures become tidy CSV (one row per series point) and
+// tables become wide CSV matching the paper's layout. Everything goes
+// through encoding/csv so quoting is always correct.
+package export
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/experiments"
+)
+
+// FigureCSV writes fig as tidy CSV: figure,series,x,y.
+func FigureCSV(w io.Writer, fig *experiments.Figure) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", "series", fig.XLabel, fig.YLabel}); err != nil {
+		return err
+	}
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			rec := []string{
+				fig.ID,
+				s.Label,
+				strconv.FormatFloat(p.X, 'g', -1, 64),
+				strconv.FormatFloat(p.Y, 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// TableCSV writes a CV table as wide CSV: one column group per mesh
+// size, rows for each baseline's CV and improvement plus the proposed
+// algorithm's CV.
+func TableCSV(w io.Writer, t *experiments.CVTable) error {
+	cw := csv.NewWriter(w)
+	header := []string{"row"}
+	for _, c := range t.Columns {
+		header = append(header,
+			fmt.Sprintf("%s_cv", c.Mesh),
+			fmt.Sprintf("%s_improvement_pct", c.Mesh))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if len(t.Columns) > 0 {
+		for i := range t.Columns[0].Rows {
+			rec := []string{t.Columns[0].Rows[i].Baseline}
+			for _, c := range t.Columns {
+				rec = append(rec,
+					strconv.FormatFloat(c.Rows[i].BaselineCV, 'g', -1, 64),
+					strconv.FormatFloat(c.Rows[i].Improvement, 'g', -1, 64))
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	rec := []string{t.Proposed}
+	for _, c := range t.Columns {
+		rec = append(rec, strconv.FormatFloat(c.ProposedCV, 'g', -1, 64), "")
+	}
+	if err := cw.Write(rec); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}

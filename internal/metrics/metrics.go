@@ -1,0 +1,83 @@
+// Package metrics turns raw broadcast results into the quantities the
+// paper reports: network-level broadcast latency, the node-level
+// coefficient of variation of arrival times, and the percentage
+// improvement tables. Replicated single-source studies average over
+// uniformly random sources, as the paper's experiments do ("different
+// source nodes have been chosen randomly … at least 40 experiments").
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/broadcast"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// SingleSourceStats aggregates replicated single-source broadcasts of
+// one algorithm on one mesh.
+type SingleSourceStats struct {
+	Algorithm string
+	Mesh      string
+	Nodes     int
+	// Latency aggregates network-level broadcast latency (µs).
+	Latency stats.Accumulator
+	// CV aggregates the per-replication coefficient of variation of
+	// destination arrival times.
+	CV stats.Accumulator
+	// Steps is the algorithm's message-passing step count on the mesh.
+	Steps int
+	// Messages is the worms injected per broadcast.
+	Messages int
+}
+
+// SingleSourceStudy runs reps single-source broadcasts from uniformly
+// random sources on an idle network and aggregates latency and CV.
+func SingleSourceStudy(m *topology.Mesh, algo broadcast.Algorithm, cfg network.Config, length, reps int, seed uint64) (*SingleSourceStats, error) {
+	if reps <= 0 {
+		return nil, fmt.Errorf("metrics: non-positive replication count %d", reps)
+	}
+	rng := sim.NewRNG(seed, 23)
+	out := &SingleSourceStats{Algorithm: algo.Name(), Mesh: m.Name(), Nodes: m.Nodes()}
+	for i := 0; i < reps; i++ {
+		src := topology.NodeID(rng.Intn(m.Nodes()))
+		r, err := broadcast.RunSingle(m, algo, src, cfg, length)
+		if err != nil {
+			return nil, err
+		}
+		out.Latency.Add(r.Latency())
+		out.CV.Add(stats.CVOf(r.DestinationLatencies()))
+		if i == 0 {
+			out.Steps = r.Plan.Steps
+			out.Messages = r.Plan.MessageCount()
+		}
+	}
+	return out, nil
+}
+
+// ImprovementRow is one cell group of the paper's Tables 1 and 2: a
+// baseline algorithm's CV and the percentage improvement the proposed
+// algorithm achieves over it.
+type ImprovementRow struct {
+	Baseline    string
+	BaselineCV  float64
+	ProposedCV  float64
+	Improvement float64 // percent, 100·(baseline − proposed)/proposed
+}
+
+// Improvements computes the paper's improvement metric of proposed
+// over each baseline.
+func Improvements(proposed *SingleSourceStats, baselines ...*SingleSourceStats) []ImprovementRow {
+	rows := make([]ImprovementRow, 0, len(baselines))
+	for _, b := range baselines {
+		rows = append(rows, ImprovementRow{
+			Baseline:    b.Algorithm,
+			BaselineCV:  b.CV.Mean(),
+			ProposedCV:  proposed.CV.Mean(),
+			Improvement: stats.Improvement(proposed.CV.Mean(), b.CV.Mean()),
+		})
+	}
+	return rows
+}

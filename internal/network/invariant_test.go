@@ -1,0 +1,112 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// TestLatencyLowerBound: under arbitrary contention, a worm's
+// delivery can never beat the contention-free bound
+// Ts + distance·HopDelay + L·Beta.
+func TestLatencyLowerBound(t *testing.T) {
+	f := func(seed uint64, count uint8) bool {
+		s := sim.New()
+		m := topology.NewMesh(5, 4, 3)
+		cfg := DefaultConfig()
+		n := MustNew(s, m, cfg)
+		rng := sim.NewRNG(seed, 61)
+		type sent struct {
+			src, dst topology.NodeID
+			start    sim.Time
+			length   int
+			arrived  sim.Time
+		}
+		worms := make([]*sent, 0, int(count)%40+5)
+		for i := 0; i < cap(worms); i++ {
+			src := topology.NodeID(rng.Intn(m.Nodes()))
+			dst := topology.NodeID(rng.Intn(m.Nodes() - 1))
+			if dst >= src {
+				dst++
+			}
+			w := &sent{src: src, dst: dst, start: rng.Uniform(0, 20), length: 1 + rng.Intn(128)}
+			worms = append(worms, w)
+			n.MustSend(w.start, &Transfer{
+				Source: src, Waypoints: []topology.NodeID{dst}, Length: w.length,
+				OnDeliver: func(_ topology.NodeID, at sim.Time) { w.arrived = at },
+			})
+		}
+		s.Run()
+		for _, w := range worms {
+			bound := w.start + cfg.Ts + float64(m.Distance(w.src, w.dst))*cfg.hopDelay() + float64(w.length)*cfg.Beta
+			if w.arrived < bound-1e-9 {
+				return false
+			}
+		}
+		return n.InFlight() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdaptiveContentionCompletes floods the mesh with west-first
+// adaptive worms: everything must drain (no cyclic waits among
+// turn-model-conforming traffic).
+func TestAdaptiveContentionCompletes(t *testing.T) {
+	s := sim.New()
+	m := topology.NewMesh(5, 5, 4)
+	n := MustNew(s, m, DefaultConfig())
+	wf := routing.NewWestFirst(m)
+	rng := sim.NewRNG(17, 3)
+	const worms = 3000
+	done := 0
+	for i := 0; i < worms; i++ {
+		src := topology.NodeID(rng.Intn(m.Nodes()))
+		dst := topology.NodeID(rng.Intn(m.Nodes() - 1))
+		if dst >= src {
+			dst++
+		}
+		n.MustSend(rng.Uniform(0, 30), &Transfer{
+			Source: src, Waypoints: []topology.NodeID{dst}, Length: 1 + rng.Intn(64),
+			Selector:  wf,
+			OnDeliver: func(_ topology.NodeID, _ sim.Time) { done++ },
+		})
+	}
+	s.Run()
+	if done != worms || n.InFlight() != 0 {
+		t.Fatalf("%d/%d delivered, %d in flight: %v", done, worms, n.InFlight(), n.Stuck())
+	}
+}
+
+// TestMixedSelectorContentionCompletes mixes DOR, west-first and
+// odd-even traffic in one network; the union of their turn sets must
+// still drain on this workload.
+func TestMixedSelectorContentionCompletes(t *testing.T) {
+	s := sim.New()
+	m := topology.NewMesh(6, 6)
+	n := MustNew(s, m, DefaultConfig())
+	sels := []routing.Selector{nil, routing.NewWestFirst(m), routing.NewOddEven(m)}
+	rng := sim.NewRNG(23, 7)
+	const worms = 2000
+	done := 0
+	for i := 0; i < worms; i++ {
+		src := topology.NodeID(rng.Intn(m.Nodes()))
+		dst := topology.NodeID(rng.Intn(m.Nodes() - 1))
+		if dst >= src {
+			dst++
+		}
+		n.MustSend(rng.Uniform(0, 20), &Transfer{
+			Source: src, Waypoints: []topology.NodeID{dst}, Length: 1 + rng.Intn(32),
+			Selector:  sels[i%len(sels)],
+			OnDeliver: func(_ topology.NodeID, _ sim.Time) { done++ },
+		})
+	}
+	s.Run()
+	if done != worms {
+		t.Fatalf("%d/%d delivered: %v", done, worms, n.Stuck())
+	}
+}

@@ -1,0 +1,181 @@
+// Package network simulates a wormhole-switched direct network with a
+// single FIFO queue per channel, the model the paper's VC++/CSIM
+// simulator used. A message is a worm: after a startup latency Ts at
+// the source, its header flit advances one channel per HopDelay,
+// blocking in place (and holding every channel already acquired) when
+// the next channel is busy. Once the header reaches the end of its
+// coded path the body drains at Beta per flit and the held channels
+// release in pipeline order. Multidestination (CPR) delivery, one-port
+// and multi-port injection, and adaptive next-hop selection are all
+// modelled here.
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Config carries the timing and port parameters of the network. The
+// defaults mirror the paper's Cray T3D-derived constants.
+type Config struct {
+	// Ts is the communication startup latency in µs (paper: 0.15 or 1.5).
+	Ts float64
+	// Beta is the time to transmit one flit across a channel in µs
+	// (paper: 0.003).
+	Beta float64
+	// HopDelay is the header's per-hop routing delay in µs. Zero
+	// means "use Beta", matching a router that forwards the header in
+	// one flit time.
+	HopDelay float64
+	// Ports is the number of simultaneous injections a node supports:
+	// 1 for the one-port model (RD, DB, AB), 3 for EDN's three-port
+	// router. Zero means 1.
+	Ports int
+}
+
+// DefaultConfig returns the paper's baseline parameters: Ts=1.5 µs,
+// Beta=0.003 µs, one-port.
+func DefaultConfig() Config {
+	return Config{Ts: 1.5, Beta: 0.003, Ports: 1}
+}
+
+func (c Config) hopDelay() float64 {
+	if c.HopDelay > 0 {
+		return c.HopDelay
+	}
+	return c.Beta
+}
+
+func (c Config) ports() int {
+	if c.Ports > 0 {
+		return c.Ports
+	}
+	return 1
+}
+
+func (c Config) validate() error {
+	if c.Ts < 0 || c.Beta <= 0 || c.HopDelay < 0 {
+		return fmt.Errorf("network: invalid timing config %+v", c)
+	}
+	return nil
+}
+
+// Transfer describes one worm to inject. Exactly one routing mode is
+// used: if Selector is nil the worm follows the unique dimension-order
+// path between waypoints; otherwise the selector chooses among its
+// candidates adaptively (first candidate with a free channel, else
+// wait on the most preferred).
+type Transfer struct {
+	// Source is the injecting node.
+	Source topology.NodeID
+	// Waypoints are the delivery nodes in visit order; the worm
+	// terminates at the last one. Must be non-empty.
+	Waypoints []topology.NodeID
+	// Length is the message length in flits (> 0).
+	Length int
+	// Selector routes between waypoints; nil means dimension-order.
+	Selector routing.Selector
+	// OnDeliver, if set, fires once per waypoint with the node and
+	// the simulated time its tail flit arrived.
+	OnDeliver func(node topology.NodeID, at sim.Time)
+	// OnDone, if set, fires when the worm fully drains.
+	OnDone func(at sim.Time)
+	// Tag is free-form labelling for tracing and debugging.
+	Tag string
+}
+
+// Network is the simulated interconnect. It is not safe for
+// concurrent use; the discrete-event kernel is single-threaded by
+// design.
+type Network struct {
+	topo     topology.Topology
+	mesh     *topology.Mesh // non-nil when topo is a mesh
+	sim      *sim.Simulator
+	cfg      Config
+	dor      routing.Selector
+	channels []channelState
+	ports    []portState
+	active   map[*worm]bool
+	injected uint64
+	finished uint64
+
+	// Occupancy accounting (see statistics.go).
+	busyTime  []sim.Time
+	busySince []sim.Time
+	acquires  []uint64
+}
+
+type channelState struct {
+	holder *worm
+	queue  []*worm
+}
+
+type portState struct {
+	inUse int
+	queue []*worm
+}
+
+// New builds a network over topo driven by s. For mesh topologies a
+// dimension-order selector is installed as the default router.
+func New(s *sim.Simulator, topo topology.Topology, cfg Config) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		topo:      topo,
+		sim:       s,
+		cfg:       cfg,
+		channels:  make([]channelState, topo.ChannelSlots()),
+		ports:     make([]portState, topo.Nodes()),
+		active:    make(map[*worm]bool),
+		busyTime:  make([]sim.Time, topo.ChannelSlots()),
+		busySince: make([]sim.Time, topo.ChannelSlots()),
+		acquires:  make([]uint64, topo.ChannelSlots()),
+	}
+	if m, ok := topo.(*topology.Mesh); ok {
+		n.mesh = m
+		n.dor = routing.NewDOR(m)
+	}
+	return n, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(s *sim.Simulator, topo topology.Topology, cfg Config) *Network {
+	n, err := New(s, topo, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Sim returns the driving simulator.
+func (n *Network) Sim() *sim.Simulator { return n.sim }
+
+// Config returns the network's configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Topology returns the simulated topology.
+func (n *Network) Topology() topology.Topology { return n.topo }
+
+// Injected returns the number of transfers accepted so far.
+func (n *Network) Injected() uint64 { return n.injected }
+
+// Finished returns the number of transfers fully drained so far.
+func (n *Network) Finished() uint64 { return n.finished }
+
+// InFlight returns the number of transfers accepted but not drained.
+func (n *Network) InFlight() int { return len(n.active) }
+
+// Stuck returns descriptions of worms still in flight; useful for
+// diagnosing simulated deadlock when the calendar drains while
+// transfers remain.
+func (n *Network) Stuck() []string {
+	var out []string
+	for w := range n.active {
+		out = append(out, w.describe())
+	}
+	return out
+}

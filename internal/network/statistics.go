@@ -1,0 +1,93 @@
+package network
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Channel-occupancy accounting. Every acquire/release pair adds to a
+// per-channel busy-time counter, which turns into the utilization
+// figures saturation analyses need (the paper reads saturation off
+// latency curves; utilization exposes the cause).
+
+// ChannelStats reports one channel's occupancy.
+type ChannelStats struct {
+	Channel  topology.ChannelID
+	BusyTime sim.Time
+	Acquires uint64
+}
+
+// Utilization returns the fraction of simulated time the channel was
+// held, given the observation window end (usually sim.Now()).
+func (c ChannelStats) Utilization(now sim.Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	u := c.BusyTime / now
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// noteAcquire records the moment a channel is granted.
+func (n *Network) noteAcquire(ch topology.ChannelID) {
+	n.busySince[ch] = n.sim.Now()
+	n.acquires[ch]++
+}
+
+// noteRelease accumulates the busy interval that just ended.
+func (n *Network) noteRelease(ch topology.ChannelID) {
+	n.busyTime[ch] += n.sim.Now() - n.busySince[ch]
+}
+
+// ChannelStatsFor returns the occupancy record of one channel.
+func (n *Network) ChannelStatsFor(ch topology.ChannelID) ChannelStats {
+	return ChannelStats{Channel: ch, BusyTime: n.busyTime[ch], Acquires: n.acquires[ch]}
+}
+
+// HottestChannels returns the k channels with the largest busy time,
+// most loaded first. It is the tool for locating bottlenecks such as
+// the anchor-corner ports of the DB algorithm under heavy broadcast
+// rates.
+func (n *Network) HottestChannels(k int) []ChannelStats {
+	all := make([]ChannelStats, 0, len(n.busyTime))
+	for ch, busy := range n.busyTime {
+		if busy > 0 {
+			all = append(all, ChannelStats{Channel: topology.ChannelID(ch), BusyTime: busy, Acquires: n.acquires[ch]})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].BusyTime != all[j].BusyTime {
+			return all[i].BusyTime > all[j].BusyTime
+		}
+		return all[i].Channel < all[j].Channel
+	})
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
+
+// MeanUtilization returns the mean busy fraction across all channels
+// that were ever used, measured against the current clock.
+func (n *Network) MeanUtilization() float64 {
+	now := n.sim.Now()
+	if now <= 0 {
+		return 0
+	}
+	total := sim.Time(0)
+	used := 0
+	for _, busy := range n.busyTime {
+		if busy > 0 {
+			total += busy
+			used++
+		}
+	}
+	if used == 0 {
+		return 0
+	}
+	return (total / sim.Time(used)) / now
+}

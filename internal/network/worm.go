@@ -1,0 +1,251 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// worm is the runtime state of one in-flight transfer.
+type worm struct {
+	net *Network
+	t   *Transfer
+
+	cur     topology.NodeID
+	wpIdx   int // next waypoint to reach
+	path    []topology.NodeID
+	grants  []sim.Time           // grant time per hop (channel i = path[i]->path[i+1])
+	chans   []topology.ChannelID // acquired channels in order
+	deliver []int                // hop index (1-based node position) per waypoint
+	waiting topology.ChannelID   // channel whose queue the worm sits in, or -1
+	started sim.Time             // injection request time
+	portAt  sim.Time             // port grant time
+}
+
+func (w *worm) describe() string {
+	return fmt.Sprintf("worm %q src=%d cur=%d wp=%d/%d hops=%d waiting=%d",
+		w.t.Tag, w.t.Source, w.cur, w.wpIdx, len(w.t.Waypoints), len(w.chans), w.waiting)
+}
+
+// Send validates t and schedules its injection at absolute time start.
+// The worm first waits for an injection port at the source (FIFO),
+// then pays the startup latency Ts, then walks its coded path.
+func (n *Network) Send(start sim.Time, t *Transfer) error {
+	if t.Length <= 0 {
+		return fmt.Errorf("network: transfer %q has length %d", t.Tag, t.Length)
+	}
+	if len(t.Waypoints) == 0 {
+		return fmt.Errorf("network: transfer %q has no waypoints", t.Tag)
+	}
+	prev := t.Source
+	for i, wp := range t.Waypoints {
+		if wp == prev {
+			return fmt.Errorf("network: transfer %q repeats node %d at waypoint %d", t.Tag, wp, i)
+		}
+		if int(wp) < 0 || int(wp) >= n.topo.Nodes() {
+			return fmt.Errorf("network: transfer %q waypoint %d out of range", t.Tag, wp)
+		}
+		prev = wp
+	}
+	if t.Selector == nil && n.dor == nil {
+		return fmt.Errorf("network: transfer %q needs a selector on topology %s", t.Tag, n.topo.Name())
+	}
+	w := &worm{
+		net:     n,
+		t:       t,
+		cur:     t.Source,
+		path:    []topology.NodeID{t.Source},
+		waiting: topology.InvalidChannel,
+		started: start,
+	}
+	n.injected++
+	n.active[w] = true
+	n.sim.At(start, func() { n.requestPort(w) })
+	return nil
+}
+
+// MustSend is Send for statically valid transfers; it panics on error.
+func (n *Network) MustSend(start sim.Time, t *Transfer) {
+	if err := n.Send(start, t); err != nil {
+		panic(err)
+	}
+}
+
+// requestPort claims an injection port at the worm's source or queues
+// for one.
+func (n *Network) requestPort(w *worm) {
+	p := &n.ports[w.t.Source]
+	if p.inUse < n.cfg.ports() {
+		p.inUse++
+		n.grantPort(w)
+		return
+	}
+	p.queue = append(p.queue, w)
+}
+
+// grantPort starts the startup latency; afterwards the header begins
+// to walk.
+func (n *Network) grantPort(w *worm) {
+	w.portAt = n.sim.Now()
+	n.sim.After(n.cfg.Ts, func() { n.advance(w) })
+}
+
+// releasePort returns the source's injection port and admits the next
+// queued worm, if any.
+func (n *Network) releasePort(node topology.NodeID) {
+	p := &n.ports[node]
+	if len(p.queue) > 0 {
+		next := p.queue[0]
+		p.queue = p.queue[1:]
+		n.grantPort(next)
+		return
+	}
+	p.inUse--
+	if p.inUse < 0 {
+		panic("network: port underflow")
+	}
+}
+
+// selector returns the routing function for w.
+func (w *worm) selector() interface {
+	NextHops(cur, dst topology.NodeID) []topology.NodeID
+} {
+	if w.t.Selector != nil {
+		return w.t.Selector
+	}
+	return w.net.dor
+}
+
+// advance moves the worm's header one hop, or completes the worm when
+// the final waypoint is reached. Called at the moment the header sits
+// at w.cur ready to move.
+func (n *Network) advance(w *worm) {
+	// Record any waypoint hit at the current node.
+	for w.wpIdx < len(w.t.Waypoints) && w.cur == w.t.Waypoints[w.wpIdx] {
+		w.deliver = append(w.deliver, len(w.chans))
+		w.wpIdx++
+	}
+	if w.wpIdx == len(w.t.Waypoints) {
+		n.complete(w)
+		return
+	}
+	dst := w.t.Waypoints[w.wpIdx]
+	cands := w.selector().NextHops(w.cur, dst)
+	if len(cands) == 0 {
+		panic(fmt.Sprintf("network: no route from %d to %d for %s", w.cur, dst, w.describe()))
+	}
+	// Adaptive choice: first candidate whose channel is free.
+	var pick topology.NodeID
+	var pickCh topology.ChannelID = topology.InvalidChannel
+	for _, cand := range cands {
+		ch := n.topo.Channel(w.cur, cand)
+		if ch == topology.InvalidChannel {
+			panic(fmt.Sprintf("network: router proposed non-adjacent hop %d -> %d", w.cur, cand))
+		}
+		if n.channels[ch].holder == nil {
+			pick, pickCh = cand, ch
+			break
+		}
+	}
+	if pickCh == topology.InvalidChannel {
+		// All candidates busy: wait FIFO on the most preferred one.
+		ch := n.topo.Channel(w.cur, cands[0])
+		w.waiting = ch
+		n.channels[ch].queue = append(n.channels[ch].queue, w)
+		return
+	}
+	n.acquire(w, pick, pickCh)
+}
+
+// acquire grants channel ch to w and schedules the header's arrival at
+// the next node.
+func (n *Network) acquire(w *worm, next topology.NodeID, ch topology.ChannelID) {
+	st := &n.channels[ch]
+	if st.holder != nil {
+		panic("network: acquiring a held channel")
+	}
+	st.holder = w
+	n.noteAcquire(ch)
+	w.waiting = topology.InvalidChannel
+	w.grants = append(w.grants, n.sim.Now())
+	w.chans = append(w.chans, ch)
+	w.path = append(w.path, next)
+	w.cur = next
+	n.sim.After(n.cfg.hopDelay(), func() { n.advance(w) })
+}
+
+// release frees channel ch and grants it to the head of its queue.
+func (n *Network) release(ch topology.ChannelID) {
+	st := &n.channels[ch]
+	if st.holder == nil {
+		panic("network: releasing a free channel")
+	}
+	st.holder = nil
+	n.noteRelease(ch)
+	// Keep admitting waiters until one takes the channel or the queue
+	// empties: an adaptive worm at the head may grab a different free
+	// channel when re-routed, and the waiters behind it must not be
+	// stranded on a free channel.
+	for st.holder == nil && len(st.queue) > 0 {
+		next := st.queue[0]
+		st.queue = st.queue[1:]
+		if next.waiting != ch {
+			panic("network: queued worm not waiting on this channel")
+		}
+		next.waiting = topology.InvalidChannel
+		n.advance(next)
+	}
+}
+
+// complete fires when the header has arrived at the final waypoint.
+// The body drains at Beta per flit; channel i releases and waypoint
+// deliveries fire in pipeline order behind the tail.
+func (n *Network) complete(w *worm) {
+	now := n.sim.Now()
+	drain := float64(w.t.Length) * n.cfg.Beta
+	tdone := now + drain
+	hops := len(w.chans)
+
+	// Tail leaves channel i at tdone - (hops-1-i)*Beta: once the last
+	// channel is granted the body streams freely, one flit per Beta
+	// per channel, and nothing drained earlier because wormhole
+	// back-pressure held all flits in place while the header stalled.
+	for i, ch := range w.chans {
+		at := tdone - float64(hops-1-i)*n.cfg.Beta
+		if at < now {
+			at = now
+		}
+		ch := ch
+		n.sim.At(at, func() { n.release(ch) })
+	}
+
+	// A waypoint reached after hop h receives its tail when channel
+	// h-1 finishes, i.e. at tdone - (hops-h)*Beta.
+	if w.t.OnDeliver != nil {
+		for i, h := range w.deliver {
+			node := w.t.Waypoints[i]
+			at := tdone - float64(hops-h)*n.cfg.Beta
+			if at < now {
+				at = now
+			}
+			deliverAt := at
+			n.sim.At(deliverAt, func() { w.t.OnDeliver(node, deliverAt) })
+		}
+	}
+
+	// The tail leaves the source when it enters the first channel.
+	portFree := tdone - float64(hops-1)*n.cfg.Beta
+	if portFree < now {
+		portFree = now
+	}
+	n.sim.At(portFree, func() { n.releasePort(w.t.Source) })
+
+	n.sim.At(tdone, func() {
+		delete(n.active, w)
+		n.finished++
+		if w.t.OnDone != nil {
+			w.t.OnDone(tdone)
+		}
+	})
+}

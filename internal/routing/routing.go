@@ -1,0 +1,118 @@
+// Package routing implements the unicast routing functions underneath
+// the broadcast algorithms: dimension-order routing (used by RD and
+// EDN), the west-first turn model family (used by AB), and the
+// odd-even turn model as an alternative adaptive substrate. A routing
+// function is a Selector that, at each node, returns the candidate
+// next hops toward a destination in preference order; deterministic
+// functions return exactly one candidate.
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Selector is a minimal routing function bound to a mesh. NextHops
+// returns the permitted next nodes from cur toward dst in preference
+// order; it returns nil only when cur == dst. Every candidate must be
+// one hop closer to dst (minimal routing).
+type Selector interface {
+	Name() string
+	NextHops(cur, dst topology.NodeID) []topology.NodeID
+}
+
+// Path expands a selector into a concrete path from src to dst by
+// always taking the first candidate. The returned path includes both
+// endpoints. It panics if the selector stalls or wanders, which would
+// be a routing-function bug.
+func Path(s Selector, m *topology.Mesh, src, dst topology.NodeID) []topology.NodeID {
+	path := []topology.NodeID{src}
+	cur := src
+	for steps := 0; cur != dst; steps++ {
+		if steps > m.Nodes() {
+			panic(fmt.Sprintf("routing: %s looping from %d to %d", s.Name(), src, dst))
+		}
+		cands := s.NextHops(cur, dst)
+		if len(cands) == 0 {
+			panic(fmt.Sprintf("routing: %s stalled at %d short of %d", s.Name(), cur, dst))
+		}
+		cur = cands[0]
+		path = append(path, cur)
+	}
+	return path
+}
+
+// DOR is deterministic dimension-order routing: the message corrects
+// its coordinate offsets one dimension at a time in a fixed order
+// (XYZ by default). It is the substrate of RD and EDN in the paper.
+type DOR struct {
+	m     *topology.Mesh
+	order []int
+}
+
+// NewDOR returns dimension-order routing over m. order lists the
+// dimensions in correction order; empty means 0,1,2,…
+func NewDOR(m *topology.Mesh, order ...int) *DOR {
+	if len(order) == 0 {
+		order = make([]int, m.NDims())
+		for i := range order {
+			order[i] = i
+		}
+	}
+	if len(order) != m.NDims() {
+		panic(fmt.Sprintf("routing: DOR order has %d dims, mesh has %d", len(order), m.NDims()))
+	}
+	seen := make([]bool, m.NDims())
+	for _, d := range order {
+		if d < 0 || d >= m.NDims() || seen[d] {
+			panic("routing: DOR order must be a permutation of the dimensions")
+		}
+		seen[d] = true
+	}
+	return &DOR{m: m, order: append([]int(nil), order...)}
+}
+
+// Name implements Selector.
+func (r *DOR) Name() string { return "dor" }
+
+// NextHops implements Selector. The single candidate corrects the
+// first out-of-place dimension in the configured order. On a torus
+// the shorter modular direction is taken (ties go positive).
+func (r *DOR) NextHops(cur, dst topology.NodeID) []topology.NodeID {
+	for _, d := range r.order {
+		cc := r.m.CoordAxis(cur, d)
+		dc := r.m.CoordAxis(dst, d)
+		if cc == dc {
+			continue
+		}
+		k := r.m.Dim(d)
+		step := 1
+		if dc < cc {
+			step = -1
+		}
+		if r.m.Wrap() && k >= 3 {
+			forward := ((dc - cc) + k) % k
+			if forward <= k-forward {
+				step = 1
+			} else {
+				step = -1
+			}
+		}
+		return []topology.NodeID{r.step(cur, d, step)}
+	}
+	return nil
+}
+
+// step returns cur moved one hop along dimension d, wrapping on a
+// torus.
+func (r *DOR) step(cur topology.NodeID, d, delta int) topology.NodeID {
+	coord := make([]int, r.m.NDims())
+	r.m.CoordInto(cur, coord)
+	k := r.m.Dim(d)
+	coord[d] += delta
+	if r.m.Wrap() && k >= 3 {
+		coord[d] = (coord[d] + k) % k
+	}
+	return r.m.ID(coord...)
+}

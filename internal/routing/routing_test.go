@@ -1,0 +1,279 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+// checkMinimal verifies every candidate returned by the selector is
+// one hop closer to the destination, for every (src, dst) pair.
+func checkMinimal(t *testing.T, m *topology.Mesh, s Selector) {
+	t.Helper()
+	for src := 0; src < m.Nodes(); src++ {
+		for dst := 0; dst < m.Nodes(); dst++ {
+			a, b := topology.NodeID(src), topology.NodeID(dst)
+			if a == b {
+				if got := s.NextHops(a, b); got != nil {
+					t.Fatalf("%s: NextHops(self) = %v", s.Name(), got)
+				}
+				continue
+			}
+			cands := s.NextHops(a, b)
+			if len(cands) == 0 {
+				t.Fatalf("%s: no candidates %d -> %d", s.Name(), a, b)
+			}
+			for _, c := range cands {
+				if m.Channel(a, c) == topology.InvalidChannel {
+					t.Fatalf("%s: non-adjacent hop %d -> %d", s.Name(), a, c)
+				}
+				if m.Distance(c, b) != m.Distance(a, b)-1 {
+					t.Fatalf("%s: non-minimal hop %d -> %d toward %d", s.Name(), a, c, b)
+				}
+			}
+		}
+	}
+}
+
+func TestDORMinimal(t *testing.T) {
+	for _, dims := range [][]int{{4, 4}, {3, 4, 2}, {5, 1, 3}} {
+		m := topology.NewMesh(dims...)
+		checkMinimal(t, m, NewDOR(m))
+	}
+}
+
+func TestDORIsDeterministicAndDimensionOrdered(t *testing.T) {
+	m := topology.NewMesh(4, 4, 4)
+	r := NewDOR(m)
+	path := Path(r, m, m.ID(3, 2, 1), m.ID(0, 0, 0))
+	// Dimension 0 must be fully corrected before dimension 1 moves.
+	lastDim := -1
+	for i := 1; i < len(path); i++ {
+		var dim int
+		for d := 0; d < 3; d++ {
+			if m.CoordAxis(path[i], d) != m.CoordAxis(path[i-1], d) {
+				dim = d
+			}
+		}
+		if dim < lastDim {
+			t.Fatalf("path corrected dim %d after dim %d", dim, lastDim)
+		}
+		lastDim = dim
+	}
+	if len(path) != 7 {
+		t.Fatalf("path length = %d, want 7 nodes", len(path))
+	}
+}
+
+func TestDORCustomOrder(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	r := NewDOR(m, 1, 0) // y first
+	hops := r.NextHops(m.ID(0, 0), m.ID(2, 2))
+	if len(hops) != 1 || hops[0] != m.ID(0, 1) {
+		t.Fatalf("y-first DOR first hop = %v", hops)
+	}
+}
+
+func TestDORPanicsOnBadOrder(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	for _, order := range [][]int{{0}, {0, 0}, {0, 5}} {
+		order := order
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("order %v did not panic", order)
+				}
+			}()
+			NewDOR(m, order...)
+		}()
+	}
+}
+
+func TestWestFirstMinimal(t *testing.T) {
+	for _, dims := range [][]int{{4, 4}, {3, 4, 2}, {5, 3, 3}} {
+		m := topology.NewMesh(dims...)
+		checkMinimal(t, m, NewWestFirst(m))
+	}
+}
+
+// TestWestFirstTurnDiscipline verifies the turn-model phase rules on
+// every adaptive branch: no west (-x) move ever follows a non-west
+// move, and no x/y move ever follows a z move (Z is routed last and
+// never left).
+func TestWestFirstTurnDiscipline(t *testing.T) {
+	m := topology.NewMesh(6, 6, 6)
+	r := NewWestFirst(m)
+	f := func(sa, sb, sc, da, db, dc uint8) bool {
+		src := m.ID(int(sa)%6, int(sb)%6, int(sc)%6)
+		dst := m.ID(int(da)%6, int(db)%6, int(dc)%6)
+		if src == dst {
+			return true
+		}
+		type state struct {
+			cur          topology.NodeID
+			leftWest     bool
+			enteredThird bool
+		}
+		seen := map[state]bool{}
+		ok := true
+		var walk func(cur topology.NodeID, leftWest, enteredThird bool)
+		walk = func(cur topology.NodeID, leftWest, enteredThird bool) {
+			if cur == dst || !ok {
+				return
+			}
+			st := state{cur, leftWest, enteredThird}
+			if seen[st] {
+				return
+			}
+			seen[st] = true
+			for _, next := range r.NextHops(cur, dst) {
+				west := m.CoordAxis(next, 0) < m.CoordAxis(cur, 0)
+				third := m.CoordAxis(next, 2) != m.CoordAxis(cur, 2)
+				if west && leftWest {
+					ok = false // a turn back into west
+					return
+				}
+				if !third && enteredThird {
+					ok = false // left the Z sink layer
+					return
+				}
+				walk(next, leftWest || !west, enteredThird || third)
+			}
+		}
+		walk(src, false, false)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWestFirstAdaptivityOffersAlternatives(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	r := NewWestFirst(m)
+	// Pure-positive offsets in two dims: both positive moves offered.
+	hops := r.NextHops(m.ID(0, 0), m.ID(3, 3))
+	if len(hops) != 2 {
+		t.Fatalf("adaptive candidates = %d, want 2", len(hops))
+	}
+}
+
+func TestWestFirstRejectsTorus(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("west-first on torus did not panic")
+		}
+	}()
+	NewWestFirst(topology.NewTorus(4, 4))
+}
+
+func TestSegmentLegal(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	r := NewWestFirst(m)
+	src := m.ID(2, 3)
+	low, high := m.ID(0, 0), m.ID(7, 7)
+	if !r.SegmentLegal(src, low, high) {
+		t.Error("all-negative then all-positive journey reported illegal")
+	}
+	if r.SegmentLegal(src, m.ID(7, 0), m.ID(0, 7)) {
+		t.Error("positive-then-negative journey reported legal")
+	}
+}
+
+func TestOddEvenMinimal(t *testing.T) {
+	for _, dims := range [][]int{{4, 4}, {5, 3}, {4, 4, 3}} {
+		m := topology.NewMesh(dims...)
+		checkMinimal(t, m, NewOddEven(m))
+	}
+}
+
+// TestOddEvenTurnRules walks every pair under odd-even routing and
+// checks the prohibited turns never occur: EN/ES at even columns,
+// NW/SW at odd columns.
+func TestOddEvenTurnRules(t *testing.T) {
+	m := topology.NewMesh(6, 6)
+	r := NewOddEven(m)
+	for src := 0; src < m.Nodes(); src++ {
+		for dst := 0; dst < m.Nodes(); dst++ {
+			if src == dst {
+				continue
+			}
+			// Walk every branch.
+			type state struct{ cur, prev topology.NodeID }
+			var walk func(cur, prev topology.NodeID)
+			seen := map[state]bool{}
+			walk = func(cur, prev topology.NodeID) {
+				if cur == topology.NodeID(dst) {
+					return
+				}
+				st := state{cur, prev}
+				if seen[st] {
+					return
+				}
+				seen[st] = true
+				for _, next := range r.NextHops(cur, topology.NodeID(dst)) {
+					if prev != topology.NodeID(-1) {
+						checkTurn(t, m, prev, cur, next)
+					}
+					walk(next, cur)
+				}
+			}
+			walk(topology.NodeID(src), topology.NodeID(-1))
+		}
+	}
+}
+
+func checkTurn(t *testing.T, m *topology.Mesh, a, b, c topology.NodeID) {
+	t.Helper()
+	dx1 := m.CoordAxis(b, 0) - m.CoordAxis(a, 0)
+	dy1 := m.CoordAxis(b, 1) - m.CoordAxis(a, 1)
+	dx2 := m.CoordAxis(c, 0) - m.CoordAxis(b, 0)
+	dy2 := m.CoordAxis(c, 1) - m.CoordAxis(b, 1)
+	col := m.CoordAxis(b, 0)
+	eastThenVertical := dx1 > 0 && dy2 != 0
+	verticalThenWest := dy1 != 0 && dx2 < 0
+	if eastThenVertical && col%2 == 0 {
+		t.Fatalf("EN/ES turn at even column %d (%d->%d->%d)", col, a, b, c)
+	}
+	if verticalThenWest && col%2 == 1 {
+		t.Fatalf("NW/SW turn at odd column %d (%d->%d->%d)", col, a, b, c)
+	}
+}
+
+func TestOddEvenRejectsBadMeshes(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewOddEven(topology.NewMesh(8)) },
+		func() { NewOddEven(topology.NewTorus(4, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestPathReachesDestination property-checks full path expansion for
+// all three selectors.
+func TestPathReachesDestination(t *testing.T) {
+	m := topology.NewMesh(5, 4, 3)
+	sels := []Selector{NewDOR(m), NewWestFirst(m), NewOddEven(m)}
+	n := m.Nodes()
+	f := func(a, b uint16, which uint8) bool {
+		src, dst := topology.NodeID(int(a)%n), topology.NodeID(int(b)%n)
+		s := sels[int(which)%len(sels)]
+		path := Path(s, m, src, dst)
+		if path[0] != src || path[len(path)-1] != dst {
+			return false
+		}
+		// Minimal: path length equals distance + 1.
+		return len(path) == m.Distance(src, dst)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

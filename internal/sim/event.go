@@ -1,0 +1,84 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// It plays the role CSIM-18/MultiSim played in the original study: a
+// virtual clock, an event calendar, and seeded random-number streams.
+// Events scheduled for the same instant fire in scheduling order, so a
+// simulation run is reproducible bit-for-bit given the same seed.
+package sim
+
+// Time is simulated time. The broadcast study measures everything in
+// microseconds (Ts = 1.5 µs, β = 0.003 µs/flit), so all packages in
+// this module treat one Time unit as one microsecond.
+type Time = float64
+
+// Action is the body of a scheduled event. It runs with the simulator
+// clock set to the event's due time.
+type Action func()
+
+// event is a calendar entry. seq breaks ties between events due at the
+// same instant so execution order is deterministic.
+type event struct {
+	due    Time
+	seq    uint64
+	action Action
+}
+
+// eventQueue is a binary min-heap ordered by (due, seq).
+type eventQueue struct {
+	items []event
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) less(i, j int) bool {
+	a, b := &q.items[i], &q.items[j]
+	if a.due != b.due {
+		return a.due < b.due
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) push(e event) {
+	q.items = append(q.items, e)
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items = q.items[:last]
+	q.siftDown(0)
+	return top
+}
+
+func (q *eventQueue) siftDown(i int) {
+	n := len(q.items)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && q.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && q.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+}
+
+// peek returns the earliest event without removing it.
+// It must not be called on an empty queue.
+func (q *eventQueue) peek() event { return q.items[0] }

@@ -1,0 +1,103 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, seedable PCG-XSH-RR 64/32 generator. Two RNGs
+// created with the same seed and stream produce identical sequences,
+// which keeps every experiment in this module reproducible. The
+// original study relied on CSIM's uniform stream for source selection;
+// this plays the same role.
+type RNG struct {
+	state uint64
+	inc   uint64
+}
+
+const pcgMultiplier = 6364136223846793005
+
+// NewRNG returns a generator seeded with seed on stream stream.
+// Distinct streams yield statistically independent sequences.
+func NewRNG(seed, stream uint64) *RNG {
+	r := &RNG{inc: (stream << 1) | 1}
+	r.state = 0
+	r.Uint32()
+	r.state += seed
+	r.Uint32()
+	return r
+}
+
+// Uint32 returns the next 32 uniformly distributed bits.
+func (r *RNG) Uint32() uint32 {
+	old := r.state
+	r.state = old*pcgMultiplier + r.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	hi := uint64(r.Uint32())
+	lo := uint64(r.Uint32())
+	return hi<<32 | lo
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Lemire-style rejection keeps the distribution exactly uniform.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	bound := uint32(n)
+	threshold := -bound % bound
+	for {
+		v := r.Uint32()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+// It panics on a non-positive mean.
+func (r *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic("sim: Exp with non-positive mean")
+	}
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -mean * math.Log(u)
+		}
+	}
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Perm returns a pseudo-random permutation of [0, n) using
+// Fisher-Yates.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Split derives a new independent generator from r, advancing r. It is
+// the cheap way to give each replication of an experiment its own
+// stream without correlating them.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64(), r.Uint64())
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrStalled is returned by RunUntil when the calendar empties before
+// the requested horizon. It usually means the workload stopped
+// injecting messages, which is normal at the end of a run.
+var ErrStalled = errors.New("sim: event calendar empty before horizon")
+
+// Simulator owns the virtual clock and the event calendar.
+// The zero value is not usable; call New.
+type Simulator struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	fired   uint64
+	limit   uint64 // safety valve; 0 means no limit
+}
+
+// New returns an empty simulator with the clock at zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Fired reports how many events have executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// SetEventLimit installs a safety limit on the number of events a Run
+// call may execute; 0 disables the limit. It guards against runaway
+// feedback loops in experimental workloads.
+func (s *Simulator) SetEventLimit(n uint64) { s.limit = n }
+
+// At schedules action to run at absolute time t. Scheduling in the
+// past panics: it is always a logic error in a discrete-event model.
+func (s *Simulator) At(t Time, action Action) {
+	if action == nil {
+		panic("sim: nil action scheduled")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	if math.IsNaN(t) {
+		panic("sim: scheduling at NaN")
+	}
+	s.queue.push(event{due: t, seq: s.nextSeq, action: action})
+	s.nextSeq++
+}
+
+// After schedules action to run delay time units from now.
+func (s *Simulator) After(delay Time, action Action) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	s.At(s.now+delay, action)
+}
+
+// Pending reports the number of events waiting on the calendar.
+func (s *Simulator) Pending() int { return s.queue.Len() }
+
+// Step executes the earliest pending event, advancing the clock to its
+// due time. It reports whether an event was executed.
+func (s *Simulator) Step() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	e := s.queue.pop()
+	s.now = e.due
+	s.fired++
+	e.action()
+	return true
+}
+
+// Run executes events until the calendar is empty.
+func (s *Simulator) Run() {
+	for s.Step() {
+		if s.limit > 0 && s.fired >= s.limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", s.limit, s.now))
+		}
+	}
+}
+
+// RunUntil executes events with due time <= horizon. The clock ends at
+// horizon if the calendar still holds later events, or at the last
+// executed event otherwise, in which case ErrStalled is returned.
+func (s *Simulator) RunUntil(horizon Time) error {
+	for s.queue.Len() > 0 && s.queue.peek().due <= horizon {
+		s.Step()
+		if s.limit > 0 && s.fired >= s.limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", s.limit, s.now))
+		}
+	}
+	if s.queue.Len() == 0 {
+		return ErrStalled
+	}
+	s.now = horizon
+	return nil
+}

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(3, func() { order = append(order, 3) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(2, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", s.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie at index %d broke scheduling order: got %d", i, v)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	s := New()
+	var at Time
+	s.At(10, func() {
+		s.After(5, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 15 {
+		t.Fatalf("After fired at %v, want 15", at)
+	}
+}
+
+func TestNestedSchedulingDuringRun(t *testing.T) {
+	s := New()
+	depth := 0
+	var grow func()
+	grow = func() {
+		if depth < 50 {
+			depth++
+			s.After(1, grow)
+		}
+	}
+	s.At(0, grow)
+	s.Run()
+	if depth != 50 {
+		t.Fatalf("depth = %d, want 50", depth)
+	}
+	if s.Now() != 50 {
+		t.Fatalf("clock = %v, want 50", s.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(5, func() {})
+	})
+	s.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	New().After(-1, func() {})
+}
+
+func TestNilActionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil action did not panic")
+		}
+	}()
+	New().At(1, nil)
+}
+
+func TestNaNTimePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NaN time did not panic")
+		}
+	}()
+	New().At(math.NaN(), func() {})
+}
+
+func TestRunUntilStopsAtHorizon(t *testing.T) {
+	s := New()
+	fired := []Time{}
+	for _, at := range []Time{1, 2, 3, 4, 5} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	if err := s.RunUntil(3); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3", len(fired))
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", s.Pending())
+	}
+}
+
+func TestRunUntilReportsStall(t *testing.T) {
+	s := New()
+	s.At(1, func() {})
+	if err := s.RunUntil(100); err != ErrStalled {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	if New().Step() {
+		t.Error("Step on empty calendar returned true")
+	}
+}
+
+func TestFiredCounts(t *testing.T) {
+	s := New()
+	for i := 0; i < 10; i++ {
+		s.At(Time(i), func() {})
+	}
+	s.Run()
+	if s.Fired() != 10 {
+		t.Fatalf("Fired = %d, want 10", s.Fired())
+	}
+}
+
+// TestHeapProperty feeds random times through the queue and verifies
+// events always pop in nondecreasing time order.
+func TestHeapProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		s := New()
+		for _, v := range times {
+			s.At(Time(v), func() {})
+		}
+		last := Time(-1)
+		ok := true
+		for s.Pending() > 0 {
+			s.Step()
+			if s.Now() < last {
+				ok = false
+			}
+			last = s.Now()
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package stats
+
+import "math"
+
+// tTable97p5 holds two-sided 95% (one-sided 97.5%) Student-t critical
+// values indexed by degrees of freedom 1..30. Beyond 30 the normal
+// approximation 1.96 is used, as is standard simulation practice.
+var tTable97p5 = [...]float64{
+	0, // unused: 0 degrees of freedom
+	12.706, 4.303, 3.182, 2.776, 2.571,
+	2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131,
+	2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060,
+	2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% Student-t critical value for
+// the given degrees of freedom.
+func TCritical95(df int) float64 {
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	if df < len(tTable97p5) {
+		return tTable97p5[df]
+	}
+	return 1.960
+}
+
+// Interval is a symmetric confidence interval around Mean.
+type Interval struct {
+	Mean     float64
+	HalfWide float64 // half-width of the interval
+	N        int     // observations behind the estimate
+}
+
+// Lo returns the lower bound of the interval.
+func (ci Interval) Lo() float64 { return ci.Mean - ci.HalfWide }
+
+// Hi returns the upper bound of the interval.
+func (ci Interval) Hi() float64 { return ci.Mean + ci.HalfWide }
+
+// RelativeWidth returns HalfWide/|Mean|, the usual stopping criterion
+// for sequential simulation; it returns +Inf for a zero mean.
+func (ci Interval) RelativeWidth() float64 {
+	if ci.Mean == 0 {
+		return math.Inf(1)
+	}
+	return ci.HalfWide / math.Abs(ci.Mean)
+}
+
+// Confidence95 returns the 95% confidence interval for the mean of the
+// observations in a.
+func (a *Accumulator) Confidence95() Interval {
+	if a.n < 2 {
+		return Interval{Mean: a.mean, HalfWide: math.Inf(1), N: a.n}
+	}
+	se := a.StdDev() / math.Sqrt(float64(a.n))
+	return Interval{
+		Mean:     a.mean,
+		HalfWide: TCritical95(a.n-1) * se,
+		N:        a.n,
+	}
+}
+
+// BatchMeans implements the paper's steady-state estimator (§3.3): the
+// observation stream is cut into batches batches; the first warmup
+// batches are discarded as cold-start transient; the surviving batch
+// means feed a Student-t interval.
+type BatchMeans struct {
+	batchSize int
+	batches   int
+	warmup    int
+
+	current Accumulator
+	means   []float64
+}
+
+// NewBatchMeans returns a collector that forms `batches` batches of
+// batchSize observations each, discarding the first warmup batches.
+// It panics on non-positive sizes or warmup >= batches.
+func NewBatchMeans(batchSize, batches, warmup int) *BatchMeans {
+	if batchSize <= 0 || batches <= 0 {
+		panic("stats: non-positive batch configuration")
+	}
+	if warmup < 0 || warmup >= batches {
+		panic("stats: warmup must be in [0, batches)")
+	}
+	return &BatchMeans{batchSize: batchSize, batches: batches, warmup: warmup}
+}
+
+// Add records one observation. Observations beyond the configured
+// number of batches are ignored.
+func (b *BatchMeans) Add(x float64) {
+	if b.Done() {
+		return
+	}
+	b.current.Add(x)
+	if b.current.N() == b.batchSize {
+		b.means = append(b.means, b.current.Mean())
+		b.current.Reset()
+	}
+}
+
+// Done reports whether all configured batches are complete.
+func (b *BatchMeans) Done() bool { return len(b.means) >= b.batches }
+
+// Completed returns the number of completed batches.
+func (b *BatchMeans) Completed() int { return len(b.means) }
+
+// Estimate returns the 95% confidence interval over the post-warmup
+// batch means collected so far.
+func (b *BatchMeans) Estimate() Interval {
+	var a Accumulator
+	for i := b.warmup; i < len(b.means); i++ {
+		a.Add(b.means[i])
+	}
+	return a.Confidence95()
+}
+
+// Means returns a copy of the completed batch means, including warmup
+// batches (useful for diagnostics).
+func (b *BatchMeans) Means() []float64 {
+	out := make([]float64, len(b.means))
+	copy(out, b.means)
+	return out
+}

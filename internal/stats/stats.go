@@ -1,0 +1,127 @@
+// Package stats provides the statistical machinery the broadcast study
+// depends on: running moments (Welford), coefficient of variation,
+// Student-t confidence intervals, and the batch-means procedure the
+// paper uses for steady-state latency estimation (21 batches with the
+// first discarded as warm-up).
+package stats
+
+import "math"
+
+// Accumulator collects a stream of observations and exposes running
+// moments without storing the stream. The zero value is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// AddAll records every observation in xs.
+func (a *Accumulator) AddAll(xs []float64) {
+	for _, x := range xs {
+		a.Add(x)
+	}
+}
+
+// N returns the number of observations recorded.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Variance returns the unbiased sample variance (n-1 denominator).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// CV returns the coefficient of variation SD/mean — the paper's
+// node-level parallelism metric (§3.2). It returns 0 when the mean is
+// zero.
+func (a *Accumulator) CV() float64 {
+	if a.mean == 0 {
+		return 0
+	}
+	return a.StdDev() / a.mean
+}
+
+// Merge folds other into a, as if every observation of other had been
+// added to a (Chan et al. parallel-variance combination).
+func (a *Accumulator) Merge(other *Accumulator) {
+	if other.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *other
+		return
+	}
+	na, nb := float64(a.n), float64(other.n)
+	delta := other.mean - a.mean
+	total := na + nb
+	a.mean += delta * nb / total
+	a.m2 += other.m2 + delta*delta*na*nb/total
+	a.n += other.n
+	if other.min < a.min {
+		a.min = other.min
+	}
+	if other.max > a.max {
+		a.max = other.max
+	}
+}
+
+// Reset forgets all recorded observations.
+func (a *Accumulator) Reset() { *a = Accumulator{} }
+
+// CVOf computes the coefficient of variation of xs directly.
+func CVOf(xs []float64) float64 {
+	var a Accumulator
+	a.AddAll(xs)
+	return a.CV()
+}
+
+// MeanOf computes the mean of xs directly.
+func MeanOf(xs []float64) float64 {
+	var a Accumulator
+	a.AddAll(xs)
+	return a.Mean()
+}
+
+// Improvement returns the paper's percentage-improvement metric used
+// in Tables 1 and 2: how much larger the baseline's coefficient of
+// variation is than ours, in percent: 100·(baseline−ours)/ours.
+func Improvement(ours, baseline float64) float64 {
+	if ours == 0 {
+		return 0
+	}
+	return 100 * (baseline - ours) / ours
+}

@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	a.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if !almost(a.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %v, want 5", a.Mean())
+	}
+	// Known dataset: population SD = 2, sample variance = 32/7.
+	if !almost(a.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("variance = %v, want %v", a.Variance(), 32.0/7.0)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorEmptyAndSingle(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.CV() != 0 {
+		t.Error("empty accumulator not all-zero")
+	}
+	a.Add(5)
+	if a.Variance() != 0 {
+		t.Error("single observation has nonzero variance")
+	}
+	if a.Mean() != 5 {
+		t.Errorf("mean = %v", a.Mean())
+	}
+}
+
+func TestCV(t *testing.T) {
+	var a Accumulator
+	a.AddAll([]float64{10, 10, 10})
+	if a.CV() != 0 {
+		t.Errorf("constant data CV = %v", a.CV())
+	}
+	if got := CVOf([]float64{1, 2, 3, 4, 5}); !almost(got, math.Sqrt(2.5)/3, 1e-12) {
+		t.Errorf("CVOf = %v", got)
+	}
+}
+
+// TestMergeMatchesSequential is the parallel-combination property:
+// merging two accumulators must equal accumulating the concatenation.
+func TestMergeMatchesSequential(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		clean := func(vs []float64) []float64 {
+			out := make([]float64, 0, len(vs))
+			for _, v := range vs {
+				if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+		xs, ys = clean(xs), clean(ys)
+		var a, b, all Accumulator
+		a.AddAll(xs)
+		b.AddAll(ys)
+		all.AddAll(append(append([]float64{}, xs...), ys...))
+		a.Merge(&b)
+		if a.N() != all.N() {
+			return false
+		}
+		if a.N() == 0 {
+			return true
+		}
+		tol := 1e-6 * (1 + math.Abs(all.Mean()))
+		return almost(a.Mean(), all.Mean(), tol) &&
+			almost(a.Variance(), all.Variance(), 1e-6*(1+all.Variance())) &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(0.2, 0.3); !almost(got, 50, 1e-9) {
+		t.Errorf("Improvement(0.2, 0.3) = %v, want 50", got)
+	}
+	if got := Improvement(0, 0.3); got != 0 {
+		t.Errorf("Improvement with zero ours = %v", got)
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	if got := TCritical95(1); got != 12.706 {
+		t.Errorf("t(1) = %v", got)
+	}
+	if got := TCritical95(30); got != 2.042 {
+		t.Errorf("t(30) = %v", got)
+	}
+	if got := TCritical95(1000); got != 1.96 {
+		t.Errorf("t(1000) = %v", got)
+	}
+	if !math.IsInf(TCritical95(0), 1) {
+		t.Error("t(0) not infinite")
+	}
+}
+
+func TestConfidence95KnownCase(t *testing.T) {
+	var a Accumulator
+	a.AddAll([]float64{1, 2, 3, 4, 5})
+	ci := a.Confidence95()
+	se := a.StdDev() / math.Sqrt(5)
+	want := 2.776 * se
+	if !almost(ci.HalfWide, want, 1e-12) {
+		t.Errorf("half-width = %v, want %v", ci.HalfWide, want)
+	}
+	if ci.Lo() >= ci.Mean || ci.Hi() <= ci.Mean {
+		t.Error("interval does not bracket the mean")
+	}
+}
+
+func TestConfidenceIntervalCoverage(t *testing.T) {
+	// With distinct observations the interval must be finite and
+	// shrink as n grows.
+	var small, large Accumulator
+	for i := 0; i < 5; i++ {
+		small.Add(float64(i))
+	}
+	for i := 0; i < 500; i++ {
+		large.Add(float64(i % 10))
+	}
+	if small.Confidence95().HalfWide <= large.Confidence95().HalfWide {
+		t.Error("interval did not shrink with more data")
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	b := NewBatchMeans(10, 5, 1)
+	for i := 0; i < 100; i++ {
+		b.Add(float64(i % 7))
+	}
+	if !b.Done() {
+		t.Fatal("collector not done after enough observations")
+	}
+	if b.Completed() != 5 {
+		t.Fatalf("completed = %d", b.Completed())
+	}
+	est := b.Estimate()
+	if est.N != 4 {
+		t.Fatalf("estimate over %d batches, want 4 (warmup discarded)", est.N)
+	}
+	means := b.Means()
+	var manual Accumulator
+	for _, m := range means[1:] {
+		manual.Add(m)
+	}
+	if !almost(est.Mean, manual.Mean(), 1e-12) {
+		t.Errorf("estimate mean = %v, want %v", est.Mean, manual.Mean())
+	}
+}
+
+func TestBatchMeansIgnoresOverflow(t *testing.T) {
+	b := NewBatchMeans(2, 2, 0)
+	for i := 0; i < 100; i++ {
+		b.Add(1)
+	}
+	if b.Completed() != 2 {
+		t.Fatalf("completed = %d, want 2", b.Completed())
+	}
+}
+
+func TestBatchMeansPanicsOnBadConfig(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewBatchMeans(0, 5, 1) },
+		func() { NewBatchMeans(5, 0, 0) },
+		func() { NewBatchMeans(5, 5, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad batch config did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRelativeWidth(t *testing.T) {
+	ci := Interval{Mean: 10, HalfWide: 1}
+	if !almost(ci.RelativeWidth(), 0.1, 1e-12) {
+		t.Errorf("relative width = %v", ci.RelativeWidth())
+	}
+	if !math.IsInf(Interval{}.RelativeWidth(), 1) {
+		t.Error("zero-mean relative width not infinite")
+	}
+}

@@ -1,0 +1,158 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GeneralizedHypercube is the GH(k_0, …, k_{n-1}) topology from the
+// paper's future-work list: nodes are mixed-radix vectors and two
+// nodes are adjacent whenever they differ in exactly one coordinate
+// (by any amount), i.e. every "row" along every dimension is a clique.
+// The binary hypercube is GH(2, 2, …, 2).
+type GeneralizedHypercube struct {
+	dims    []int
+	strides []int
+	n       int
+	adj     [][]NodeID
+	chanIDs []map[NodeID]ChannelID
+	slots   int
+}
+
+// NewGeneralizedHypercube builds GH(dims...). It panics if no
+// dimensions are given or any extent is < 2.
+func NewGeneralizedHypercube(dims ...int) *GeneralizedHypercube {
+	if len(dims) == 0 {
+		panic("topology: hypercube needs at least one dimension")
+	}
+	g := &GeneralizedHypercube{
+		dims:    append([]int(nil), dims...),
+		strides: make([]int, len(dims)),
+		n:       1,
+	}
+	for d, k := range dims {
+		if k < 2 {
+			panic(fmt.Sprintf("topology: hypercube dimension %d has extent %d", d, k))
+		}
+		g.strides[d] = g.n
+		g.n *= k
+	}
+	g.build()
+	return g
+}
+
+// NewHypercube builds the binary n-cube with 2^n nodes.
+func NewHypercube(n int) *GeneralizedHypercube {
+	dims := make([]int, n)
+	for i := range dims {
+		dims[i] = 2
+	}
+	return NewGeneralizedHypercube(dims...)
+}
+
+func (g *GeneralizedHypercube) build() {
+	g.adj = make([][]NodeID, g.n)
+	g.chanIDs = make([]map[NodeID]ChannelID, g.n)
+	coord := make([]int, len(g.dims))
+	next := 0
+	for id := 0; id < g.n; id++ {
+		g.CoordInto(NodeID(id), coord)
+		g.chanIDs[id] = make(map[NodeID]ChannelID)
+		for d, k := range g.dims {
+			for v := 0; v < k; v++ {
+				if v == coord[d] {
+					continue
+				}
+				to := NodeID(int(id) + (v-coord[d])*g.strides[d])
+				g.adj[id] = append(g.adj[id], to)
+				g.chanIDs[id][to] = ChannelID(next)
+				next++
+			}
+		}
+	}
+	g.slots = next
+}
+
+// Nodes returns the number of nodes.
+func (g *GeneralizedHypercube) Nodes() int { return g.n }
+
+// NDims returns the number of dimensions.
+func (g *GeneralizedHypercube) NDims() int { return len(g.dims) }
+
+// Dim returns the extent of dimension d.
+func (g *GeneralizedHypercube) Dim(d int) int { return g.dims[d] }
+
+// ChannelSlots returns the size of the channel ID space.
+func (g *GeneralizedHypercube) ChannelSlots() int { return g.slots }
+
+// Channel returns the directed channel between adjacent nodes, or
+// InvalidChannel when the nodes are not adjacent.
+func (g *GeneralizedHypercube) Channel(from, to NodeID) ChannelID {
+	if c, ok := g.chanIDs[from][to]; ok {
+		return c
+	}
+	return InvalidChannel
+}
+
+// Adjacent returns the neighbors of node id; do not modify the slice.
+func (g *GeneralizedHypercube) Adjacent(id NodeID) []NodeID { return g.adj[id] }
+
+// Name returns e.g. "ghc 4x4x4".
+func (g *GeneralizedHypercube) Name() string {
+	parts := make([]string, len(g.dims))
+	for i, k := range g.dims {
+		parts[i] = fmt.Sprint(k)
+	}
+	return "ghc " + strings.Join(parts, "x")
+}
+
+// ID returns the node at the given coordinates.
+func (g *GeneralizedHypercube) ID(coord ...int) NodeID {
+	if len(coord) != len(g.dims) {
+		panic(fmt.Sprintf("topology: got %d coords for %d dims", len(coord), len(g.dims)))
+	}
+	id := 0
+	for d, v := range coord {
+		if v < 0 || v >= g.dims[d] {
+			panic(fmt.Sprintf("topology: coord %d out of range in dim %d", v, d))
+		}
+		id += v * g.strides[d]
+	}
+	return NodeID(id)
+}
+
+// CoordInto writes the coordinates of node id into buf.
+func (g *GeneralizedHypercube) CoordInto(id NodeID, buf []int) {
+	v := int(id)
+	for d, k := range g.dims {
+		buf[d] = v % k
+		v /= k
+	}
+}
+
+// Coord returns the coordinates of node id in a fresh slice.
+func (g *GeneralizedHypercube) Coord(id NodeID) []int {
+	c := make([]int, len(g.dims))
+	g.CoordInto(id, c)
+	return c
+}
+
+// Distance returns the Hamming distance between the coordinate
+// vectors, which is the GH shortest-path length.
+func (g *GeneralizedHypercube) Distance(a, b NodeID) int {
+	total := 0
+	va, vb := int(a), int(b)
+	for _, k := range g.dims {
+		if va%k != vb%k {
+			total++
+		}
+		va /= k
+		vb /= k
+	}
+	return total
+}
+
+var (
+	_ Topology = (*Mesh)(nil)
+	_ Topology = (*GeneralizedHypercube)(nil)
+)

@@ -1,0 +1,278 @@
+// Package topology models the direct interconnection networks of the
+// study: the k-ary n-dimensional mesh (the paper's subject), the torus
+// (k-ary n-cube) and the generalised hypercube (the paper's §4 future
+// work). Nodes are dense integer IDs; channels are directed links with
+// dense integer IDs so the network simulator can index per-channel
+// state with slices instead of maps.
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeID identifies a node. IDs are dense in [0, Nodes()).
+type NodeID int
+
+// ChannelID identifies a directed channel. IDs are dense per topology
+// in [0, ChannelSlots()); some slots may be invalid at mesh edges.
+type ChannelID int
+
+// InvalidChannel is returned when two nodes are not adjacent.
+const InvalidChannel ChannelID = -1
+
+// Topology is what the network simulator needs from an interconnect:
+// a node set, a directed-channel numbering, and adjacency.
+type Topology interface {
+	// Nodes returns the number of nodes.
+	Nodes() int
+	// ChannelSlots returns an upper bound for channel IDs; every
+	// valid ChannelID is less than this.
+	ChannelSlots() int
+	// Channel returns the directed channel from one node to an
+	// adjacent node, or InvalidChannel if they are not adjacent.
+	Channel(from, to NodeID) ChannelID
+	// Adjacent returns the neighbors of a node. The returned slice
+	// must not be modified.
+	Adjacent(n NodeID) []NodeID
+	// Name returns a short description such as "mesh 8x8x8".
+	Name() string
+}
+
+// Mesh is a k-ary n-dimensional mesh or, when Wrap is set, a torus
+// (k-ary n-cube). Dimension 0 varies fastest in the ID encoding.
+type Mesh struct {
+	dims    []int
+	strides []int
+	n       int
+	wrap    bool
+	adj     [][]NodeID
+}
+
+// NewMesh returns a mesh with the given per-dimension extents.
+// It panics if no dimensions are given or any extent is < 1.
+func NewMesh(dims ...int) *Mesh { return newMesh(false, dims) }
+
+// NewTorus returns a torus (k-ary n-cube) with the given extents.
+// Wraparound links are only created along dimensions of extent >= 3,
+// since a 2-extent wraparound would duplicate the existing link.
+func NewTorus(dims ...int) *Mesh { return newMesh(true, dims) }
+
+func newMesh(wrap bool, dims []int) *Mesh {
+	if len(dims) == 0 {
+		panic("topology: mesh needs at least one dimension")
+	}
+	m := &Mesh{
+		dims:    append([]int(nil), dims...),
+		strides: make([]int, len(dims)),
+		n:       1,
+		wrap:    wrap,
+	}
+	for d, k := range dims {
+		if k < 1 {
+			panic(fmt.Sprintf("topology: dimension %d has extent %d", d, k))
+		}
+		m.strides[d] = m.n
+		m.n *= k
+	}
+	m.buildAdjacency()
+	return m
+}
+
+func (m *Mesh) buildAdjacency() {
+	m.adj = make([][]NodeID, m.n)
+	coord := make([]int, len(m.dims))
+	for id := 0; id < m.n; id++ {
+		m.CoordInto(NodeID(id), coord)
+		var neigh []NodeID
+		for d := range m.dims {
+			for _, delta := range [2]int{+1, -1} {
+				if v, ok := m.neighborAt(coord, d, delta); ok {
+					neigh = append(neigh, v)
+				}
+			}
+		}
+		m.adj[id] = neigh
+	}
+}
+
+// neighborAt returns the node one step from coord along dimension d
+// in direction delta, honoring wraparound, and whether it exists.
+func (m *Mesh) neighborAt(coord []int, d, delta int) (NodeID, bool) {
+	k := m.dims[d]
+	c := coord[d] + delta
+	switch {
+	case c >= 0 && c < k:
+	case m.wrap && k >= 3:
+		c = (c + k) % k
+	default:
+		return 0, false
+	}
+	id := 0
+	for i, v := range coord {
+		if i == d {
+			v = c
+		}
+		id += v * m.strides[i]
+	}
+	return NodeID(id), true
+}
+
+// Nodes returns the number of nodes in the mesh.
+func (m *Mesh) Nodes() int { return m.n }
+
+// NDims returns the number of dimensions.
+func (m *Mesh) NDims() int { return len(m.dims) }
+
+// Dim returns the extent of dimension d.
+func (m *Mesh) Dim(d int) int { return m.dims[d] }
+
+// Dims returns a copy of the per-dimension extents.
+func (m *Mesh) Dims() []int { return append([]int(nil), m.dims...) }
+
+// Wrap reports whether the mesh has wraparound (torus) links.
+func (m *Mesh) Wrap() bool { return m.wrap }
+
+// Name returns e.g. "mesh 8x8x8" or "torus 4x4x4".
+func (m *Mesh) Name() string {
+	parts := make([]string, len(m.dims))
+	for i, k := range m.dims {
+		parts[i] = fmt.Sprint(k)
+	}
+	kind := "mesh"
+	if m.wrap {
+		kind = "torus"
+	}
+	return kind + " " + strings.Join(parts, "x")
+}
+
+// ID returns the node at the given coordinates. It panics if the
+// coordinate count or any value is out of range.
+func (m *Mesh) ID(coord ...int) NodeID {
+	if len(coord) != len(m.dims) {
+		panic(fmt.Sprintf("topology: got %d coords for %d dims", len(coord), len(m.dims)))
+	}
+	id := 0
+	for d, v := range coord {
+		if v < 0 || v >= m.dims[d] {
+			panic(fmt.Sprintf("topology: coord %d out of range [0,%d) in dim %d", v, m.dims[d], d))
+		}
+		id += v * m.strides[d]
+	}
+	return NodeID(id)
+}
+
+// Coord returns the coordinates of node id in a fresh slice.
+func (m *Mesh) Coord(id NodeID) []int {
+	c := make([]int, len(m.dims))
+	m.CoordInto(id, c)
+	return c
+}
+
+// CoordInto writes the coordinates of node id into buf, which must
+// have length NDims.
+func (m *Mesh) CoordInto(id NodeID, buf []int) {
+	v := int(id)
+	if v < 0 || v >= m.n {
+		panic(fmt.Sprintf("topology: node %d out of range [0,%d)", v, m.n))
+	}
+	for d, k := range m.dims {
+		buf[d] = v % k
+		v /= k
+	}
+}
+
+// CoordAxis returns coordinate d of node id without allocating.
+func (m *Mesh) CoordAxis(id NodeID, d int) int {
+	return (int(id) / m.strides[d]) % m.dims[d]
+}
+
+// Adjacent returns the neighbors of node id. The slice is shared; do
+// not modify it.
+func (m *Mesh) Adjacent(id NodeID) []NodeID { return m.adj[id] }
+
+// ChannelSlots returns the size of the channel ID space:
+// nodes × dims × 2 directions. Edge slots without a physical link are
+// never returned by Channel.
+func (m *Mesh) ChannelSlots() int { return m.n * len(m.dims) * 2 }
+
+// Channel returns the directed channel from one node to an adjacent
+// node, or InvalidChannel if they are not adjacent. The encoding is
+// (from·NDims + dim)·2 + dir with dir 0 for the positive direction.
+func (m *Mesh) Channel(from, to NodeID) ChannelID {
+	if from == to {
+		return InvalidChannel
+	}
+	for d := range m.dims {
+		cf := m.CoordAxis(from, d)
+		ct := m.CoordAxis(to, d)
+		if cf == ct {
+			continue
+		}
+		// All other axes must match.
+		if !m.sameExcept(from, to, d) {
+			return InvalidChannel
+		}
+		k := m.dims[d]
+		switch {
+		case ct == cf+1:
+			return m.channelID(from, d, 0)
+		case ct == cf-1:
+			return m.channelID(from, d, 1)
+		case m.wrap && k >= 3 && cf == k-1 && ct == 0:
+			return m.channelID(from, d, 0)
+		case m.wrap && k >= 3 && cf == 0 && ct == k-1:
+			return m.channelID(from, d, 1)
+		default:
+			return InvalidChannel
+		}
+	}
+	return InvalidChannel
+}
+
+func (m *Mesh) channelID(from NodeID, dim, dir int) ChannelID {
+	return ChannelID((int(from)*len(m.dims)+dim)*2 + dir)
+}
+
+// sameExcept reports whether a and b agree on every axis except d.
+func (m *Mesh) sameExcept(a, b NodeID, d int) bool {
+	for i := range m.dims {
+		if i == d {
+			continue
+		}
+		if m.CoordAxis(a, i) != m.CoordAxis(b, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Distance returns the minimal hop count between two nodes, honoring
+// wraparound when present.
+func (m *Mesh) Distance(a, b NodeID) int {
+	total := 0
+	for d, k := range m.dims {
+		diff := m.CoordAxis(a, d) - m.CoordAxis(b, d)
+		if diff < 0 {
+			diff = -diff
+		}
+		if m.wrap && k >= 3 && k-diff < diff {
+			diff = k - diff
+		}
+		total += diff
+	}
+	return total
+}
+
+// Diameter returns the maximum shortest-path distance in the mesh.
+func (m *Mesh) Diameter() int {
+	total := 0
+	for _, k := range m.dims {
+		d := k - 1
+		if m.wrap && k >= 3 {
+			d = k / 2
+		}
+		total += d
+	}
+	return total
+}

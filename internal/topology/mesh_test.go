@@ -1,0 +1,304 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMeshBasics(t *testing.T) {
+	m := NewMesh(4, 3, 2)
+	if m.Nodes() != 24 {
+		t.Fatalf("nodes = %d", m.Nodes())
+	}
+	if m.NDims() != 3 || m.Dim(0) != 4 || m.Dim(1) != 3 || m.Dim(2) != 2 {
+		t.Fatal("dims wrong")
+	}
+	if m.Name() != "mesh 4x3x2" {
+		t.Fatalf("name = %q", m.Name())
+	}
+	if m.Wrap() {
+		t.Fatal("mesh reports wraparound")
+	}
+}
+
+func TestCoordRoundTrip(t *testing.T) {
+	m := NewMesh(5, 7, 3)
+	for id := 0; id < m.Nodes(); id++ {
+		c := m.Coord(NodeID(id))
+		if got := m.ID(c...); got != NodeID(id) {
+			t.Fatalf("round trip %d -> %v -> %d", id, c, got)
+		}
+		for d := 0; d < 3; d++ {
+			if m.CoordAxis(NodeID(id), d) != c[d] {
+				t.Fatalf("CoordAxis(%d, %d) = %d, want %d", id, d, m.CoordAxis(NodeID(id), d), c[d])
+			}
+		}
+	}
+}
+
+func TestDimZeroVariesFastest(t *testing.T) {
+	m := NewMesh(4, 4, 4)
+	if m.ID(1, 0, 0) != 1 {
+		t.Errorf("ID(1,0,0) = %d", m.ID(1, 0, 0))
+	}
+	if m.ID(0, 1, 0) != 4 {
+		t.Errorf("ID(0,1,0) = %d", m.ID(0, 1, 0))
+	}
+	if m.ID(0, 0, 1) != 16 {
+		t.Errorf("ID(0,0,1) = %d", m.ID(0, 0, 1))
+	}
+}
+
+func TestAdjacencyMesh(t *testing.T) {
+	m := NewMesh(3, 3)
+	center := m.ID(1, 1)
+	if got := len(m.Adjacent(center)); got != 4 {
+		t.Errorf("center degree = %d, want 4", got)
+	}
+	corner := m.ID(0, 0)
+	if got := len(m.Adjacent(corner)); got != 2 {
+		t.Errorf("corner degree = %d, want 2", got)
+	}
+	// Adjacency is symmetric.
+	for id := 0; id < m.Nodes(); id++ {
+		for _, nb := range m.Adjacent(NodeID(id)) {
+			found := false
+			for _, back := range m.Adjacent(nb) {
+				if back == NodeID(id) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency not symmetric: %d -> %d", id, nb)
+			}
+		}
+	}
+}
+
+func TestChannelBetweenNeighbors(t *testing.T) {
+	m := NewMesh(4, 4, 4)
+	seen := map[ChannelID]bool{}
+	for id := 0; id < m.Nodes(); id++ {
+		for _, nb := range m.Adjacent(NodeID(id)) {
+			ch := m.Channel(NodeID(id), nb)
+			if ch == InvalidChannel {
+				t.Fatalf("no channel between neighbors %d and %d", id, nb)
+			}
+			if int(ch) >= m.ChannelSlots() {
+				t.Fatalf("channel %d beyond slots %d", ch, m.ChannelSlots())
+			}
+			if seen[ch] {
+				t.Fatalf("channel %d assigned twice", ch)
+			}
+			seen[ch] = true
+			// Opposite direction must be a different channel.
+			if back := m.Channel(nb, NodeID(id)); back == ch || back == InvalidChannel {
+				t.Fatalf("reverse channel of %d->%d broken", id, nb)
+			}
+		}
+	}
+}
+
+func TestChannelInvalidForNonNeighbors(t *testing.T) {
+	m := NewMesh(4, 4)
+	if m.Channel(m.ID(0, 0), m.ID(2, 0)) != InvalidChannel {
+		t.Error("channel exists for distance-2 pair")
+	}
+	if m.Channel(m.ID(0, 0), m.ID(1, 1)) != InvalidChannel {
+		t.Error("channel exists for diagonal pair")
+	}
+	if m.Channel(m.ID(0, 0), m.ID(0, 0)) != InvalidChannel {
+		t.Error("channel exists for self")
+	}
+}
+
+func TestDistanceAndDiameter(t *testing.T) {
+	m := NewMesh(4, 4, 4)
+	if d := m.Distance(m.ID(0, 0, 0), m.ID(3, 3, 3)); d != 9 {
+		t.Errorf("distance = %d, want 9", d)
+	}
+	if m.Diameter() != 9 {
+		t.Errorf("diameter = %d, want 9", m.Diameter())
+	}
+}
+
+func TestTorusWraparound(t *testing.T) {
+	tor := NewTorus(4, 4)
+	a, b := tor.ID(0, 0), tor.ID(3, 0)
+	if ch := tor.Channel(a, b); ch == InvalidChannel {
+		t.Error("no wraparound channel on torus")
+	}
+	if d := tor.Distance(a, b); d != 1 {
+		t.Errorf("torus wrap distance = %d, want 1", d)
+	}
+	if tor.Diameter() != 4 {
+		t.Errorf("torus diameter = %d, want 4", tor.Diameter())
+	}
+	if got := len(tor.Adjacent(a)); got != 4 {
+		t.Errorf("torus corner degree = %d, want 4", got)
+	}
+}
+
+func TestTorusExtentTwoHasNoDuplicateLinks(t *testing.T) {
+	tor := NewTorus(2, 4)
+	if got := len(tor.Adjacent(tor.ID(0, 0))); got != 3 {
+		t.Errorf("degree = %d, want 3 (no duplicated 2-extent wrap)", got)
+	}
+}
+
+func TestMeshPanicsOnBadInput(t *testing.T) {
+	cases := []func(){
+		func() { NewMesh() },
+		func() { NewMesh(0, 4) },
+		func() { NewMesh(4).ID(5) },
+		func() { NewMesh(4).ID(1, 1) },
+		func() { NewMesh(4, 4).Coord(NodeID(99)) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestDistanceIsAMetric property-checks symmetry and triangle
+// inequality on a fixed mesh.
+func TestDistanceIsAMetric(t *testing.T) {
+	m := NewMesh(5, 4, 3)
+	n := m.Nodes()
+	f := func(a, b, c uint16) bool {
+		x, y, z := NodeID(int(a)%n), NodeID(int(b)%n), NodeID(int(c)%n)
+		if m.Distance(x, y) != m.Distance(y, x) {
+			return false
+		}
+		if (m.Distance(x, y) == 0) != (x == y) {
+			return false
+		}
+		return m.Distance(x, z) <= m.Distance(x, y)+m.Distance(y, z)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLine(t *testing.T) {
+	m := NewMesh(4, 3, 2)
+	line := m.Line(m.ID(2, 1, 1), 0)
+	if len(line) != 4 {
+		t.Fatalf("line length = %d", len(line))
+	}
+	for x, id := range line {
+		if m.CoordAxis(id, 0) != x || m.CoordAxis(id, 1) != 1 || m.CoordAxis(id, 2) != 1 {
+			t.Fatalf("line[%d] = %d has wrong coords", x, id)
+		}
+	}
+}
+
+func TestPlane(t *testing.T) {
+	m := NewMesh(4, 3, 2)
+	p := m.Plane(2, 1)
+	if len(p) != 12 {
+		t.Fatalf("plane size = %d, want 12", len(p))
+	}
+	for _, id := range p {
+		if m.CoordAxis(id, 2) != 1 {
+			t.Fatalf("node %d not in plane z=1", id)
+		}
+	}
+}
+
+func TestCorners(t *testing.T) {
+	m := NewMesh(4, 3, 2)
+	cs := m.Corners()
+	if len(cs) != 8 {
+		t.Fatalf("corner count = %d", len(cs))
+	}
+	if cs[0] != m.ID(0, 0, 0) {
+		t.Errorf("corner 0 = %d", cs[0])
+	}
+	if cs[7] != m.ID(3, 2, 1) {
+		t.Errorf("corner 7 = %d", cs[7])
+	}
+	if m.Corner(CornerMask(1)) != m.ID(3, 0, 0) {
+		t.Errorf("corner mask 1 wrong")
+	}
+}
+
+func TestNearestCornerInPlane(t *testing.T) {
+	m := NewMesh(8, 8, 4)
+	near, opp := m.NearestCornerInPlane(m.ID(1, 6, 2), 0, 1)
+	if near != m.ID(0, 7, 2) {
+		t.Errorf("near = %v, want (0,7,2)", m.Coord(near))
+	}
+	if opp != m.ID(7, 0, 2) {
+		t.Errorf("opp = %v, want (7,0,2)", m.Coord(opp))
+	}
+}
+
+func TestHalfSpace(t *testing.T) {
+	m := NewMesh(4, 4)
+	lo, hi := m.HalfSpace(m.Plane(1, 0), 0, 2)
+	if len(lo) != 2 || len(hi) != 2 {
+		t.Fatalf("split %d/%d, want 2/2", len(lo), len(hi))
+	}
+}
+
+func TestGeneralizedHypercube(t *testing.T) {
+	g := NewGeneralizedHypercube(3, 3)
+	if g.Nodes() != 9 {
+		t.Fatalf("nodes = %d", g.Nodes())
+	}
+	// Every node is adjacent to the 2 others in its row and the 2 in
+	// its column.
+	for id := 0; id < g.Nodes(); id++ {
+		if got := len(g.Adjacent(NodeID(id))); got != 4 {
+			t.Fatalf("degree of %d = %d, want 4", id, got)
+		}
+	}
+	// Distance is the Hamming distance of coordinates.
+	if d := g.Distance(g.ID(0, 0), g.ID(2, 2)); d != 2 {
+		t.Errorf("distance = %d, want 2", d)
+	}
+	if d := g.Distance(g.ID(0, 0), g.ID(2, 0)); d != 1 {
+		t.Errorf("distance = %d, want 1", d)
+	}
+}
+
+func TestBinaryHypercube(t *testing.T) {
+	h := NewHypercube(4)
+	if h.Nodes() != 16 {
+		t.Fatalf("nodes = %d", h.Nodes())
+	}
+	for id := 0; id < h.Nodes(); id++ {
+		if got := len(h.Adjacent(NodeID(id))); got != 4 {
+			t.Fatalf("degree = %d, want 4", got)
+		}
+	}
+}
+
+func TestHypercubeChannels(t *testing.T) {
+	g := NewGeneralizedHypercube(3, 2)
+	seen := map[ChannelID]bool{}
+	count := 0
+	for id := 0; id < g.Nodes(); id++ {
+		for _, nb := range g.Adjacent(NodeID(id)) {
+			ch := g.Channel(NodeID(id), nb)
+			if ch == InvalidChannel || seen[ch] {
+				t.Fatalf("bad channel %d -> %d", id, nb)
+			}
+			seen[ch] = true
+			count++
+		}
+	}
+	if count != g.ChannelSlots() {
+		t.Fatalf("used %d channels, slots %d", count, g.ChannelSlots())
+	}
+	if g.Channel(0, 0) != InvalidChannel {
+		t.Error("self channel exists")
+	}
+}

@@ -1,0 +1,157 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/broadcast"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func quickCfg(algo broadcast.Algorithm) MixedConfig {
+	return MixedConfig{
+		Rate:              0.002, // 2 msg/ms per node
+		BroadcastFraction: 0.10,
+		Length:            32,
+		Algorithm:         algo,
+		Seed:              9,
+		BatchSize:         20,
+		Batches:           5,
+		Warmup:            1,
+	}
+}
+
+func TestRunMixedBasics(t *testing.T) {
+	m := topology.NewMesh(4, 4, 4)
+	res, err := RunMixed(m, quickCfg(broadcast.NewDB()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Saturated {
+		t.Error("light load reported saturated")
+	}
+	if res.MeanLatency <= 0 {
+		t.Errorf("mean latency = %v", res.MeanLatency)
+	}
+	if res.Completed < 100 {
+		t.Errorf("completed = %d, want >= window of 100", res.Completed)
+	}
+	if res.Unicast.N() == 0 || res.Broadcast.N() == 0 {
+		t.Errorf("class counts: unicast %d broadcast %d", res.Unicast.N(), res.Broadcast.N())
+	}
+	// Broadcast latency must exceed unicast latency: a broadcast only
+	// completes when its slowest destination arrives.
+	if res.Broadcast.Mean() <= res.Unicast.Mean() {
+		t.Errorf("broadcast mean %v not above unicast mean %v", res.Broadcast.Mean(), res.Unicast.Mean())
+	}
+	if res.Throughput <= 0 {
+		t.Errorf("throughput = %v", res.Throughput)
+	}
+}
+
+func TestRunMixedDeterminism(t *testing.T) {
+	m := topology.NewMesh(4, 4, 4)
+	a, err := RunMixed(m, quickCfg(broadcast.NewAB()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMixed(m, quickCfg(broadcast.NewAB()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanLatency != b.MeanLatency || a.Injected != b.Injected || a.Duration != b.Duration {
+		t.Fatalf("same-seed runs diverged: %+v vs %+v", a, b)
+	}
+	c := quickCfg(broadcast.NewAB())
+	c.Seed = 10
+	d, err := RunMixed(m, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MeanLatency == a.MeanLatency && d.Injected == a.Injected {
+		t.Error("different seeds produced identical runs")
+	}
+}
+
+func TestRunMixedPureUnicast(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	cfg := quickCfg(nil)
+	cfg.BroadcastFraction = 0
+	cfg.Algorithm = nil
+	res, err := RunMixed(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Broadcast.N() != 0 {
+		t.Errorf("pure-unicast run delivered %d broadcasts", res.Broadcast.N())
+	}
+	// Uncontended unicast latency must sit near Ts + D·β + L·β.
+	if res.MeanLatency < 1.5 || res.MeanLatency > 3 {
+		t.Errorf("unicast mean latency = %v, expected ~1.6 µs", res.MeanLatency)
+	}
+}
+
+func TestRunMixedAdaptiveUnicast(t *testing.T) {
+	m := topology.NewMesh(4, 4, 4)
+	cfg := quickCfg(broadcast.NewAB())
+	wf := routing.NewWestFirst(m)
+	cfg.Unicast, cfg.Adaptive = wf, wf
+	res, err := RunMixed(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CIValid() {
+		t.Errorf("confidence interval invalid: %+v", res.CI)
+	}
+}
+
+func TestRunMixedSaturationCutoff(t *testing.T) {
+	m := topology.NewMesh(4, 4, 4)
+	cfg := quickCfg(broadcast.NewRD())
+	cfg.Rate = 0.5 // 500 msg/ms per node: far beyond saturation
+	cfg.MaxInjected = 2000
+	res, err := RunMixed(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Saturated {
+		t.Fatal("overload not reported as saturated")
+	}
+	// The diverging estimate must clearly exceed the ~2 µs
+	// uncontended latency.
+	if res.MeanLatency < 6 {
+		t.Errorf("saturated mean latency = %v, expected several times the uncontended 2 µs", res.MeanLatency)
+	}
+}
+
+func TestRunMixedValidation(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	bad := []MixedConfig{
+		{Rate: 0, Length: 32, Algorithm: broadcast.NewDB()},
+		{Rate: 0.001, Length: 0, Algorithm: broadcast.NewDB()},
+		{Rate: 0.001, Length: 32, BroadcastFraction: 1.5, Algorithm: broadcast.NewDB()},
+		{Rate: 0.001, Length: 32, BroadcastFraction: 0.1, Algorithm: nil},
+	}
+	for i, cfg := range bad {
+		if _, err := RunMixed(m, cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	if _, err := RunMixed(topology.NewMesh(1), quickCfg(broadcast.NewDB())); err == nil {
+		t.Error("single-node mesh accepted")
+	}
+}
+
+func TestLatencyFinite(t *testing.T) {
+	m := topology.NewMesh(4, 4, 4)
+	for _, algo := range []broadcast.Algorithm{broadcast.NewRD(), broadcast.NewEDN(), broadcast.NewDB(), broadcast.NewAB()} {
+		res, err := RunMixed(m, quickCfg(algo))
+		if err != nil {
+			t.Fatalf("%s: %v", algo.Name(), err)
+		}
+		if math.IsNaN(res.MeanLatency) || math.IsInf(res.MeanLatency, 0) {
+			t.Errorf("%s: latency %v", algo.Name(), res.MeanLatency)
+		}
+	}
+}

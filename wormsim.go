@@ -1,0 +1,225 @@
+// Package wormsim is a discrete-event simulator for broadcast
+// communication in wormhole-switched interconnection networks. It
+// reproduces the system of Al-Dubai & Ould-Khaoua, "On the
+// Performance of Broadcast Algorithms in Interconnection Networks"
+// (ICPP Workshops 2005): a flit-level-approximate wormhole mesh model
+// with single-queue channels, the Coded-Path Routing (CPR) substrate,
+// and the four broadcast algorithms the paper compares — Recursive
+// Doubling (RD), Extended Dominating Nodes (EDN), Deterministic
+// Broadcast (DB) and Adaptive Broadcast (AB) — together with the
+// workload generators and statistics needed to regenerate every
+// figure and table of the paper's evaluation.
+//
+// # Quick start
+//
+//	m := wormsim.NewMesh(8, 8, 8)
+//	r, err := wormsim.RunBroadcast(m, wormsim.NewAB(), m.ID(3, 4, 2), wormsim.DefaultConfig(), 100)
+//	if err != nil { ... }
+//	fmt.Println("latency:", r.Latency(), "µs")
+//
+// The package is a facade: the implementation lives in internal
+// packages (topology, routing, core, network, broadcast, traffic,
+// metrics, experiments), re-exported here as type aliases so the
+// whole system is reachable through one import.
+package wormsim
+
+import (
+	"repro/internal/broadcast"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Topology types.
+type (
+	// NodeID identifies a node; IDs are dense in [0, Nodes()).
+	NodeID = topology.NodeID
+	// ChannelID identifies a directed channel.
+	ChannelID = topology.ChannelID
+	// Mesh is a k-ary n-dimensional mesh or torus.
+	Mesh = topology.Mesh
+	// Topology is the abstract interconnect interface.
+	Topology = topology.Topology
+	// GeneralizedHypercube is the GH(k0,…,kn-1) topology.
+	GeneralizedHypercube = topology.GeneralizedHypercube
+)
+
+// NewMesh returns a mesh with the given per-dimension extents.
+func NewMesh(dims ...int) *Mesh { return topology.NewMesh(dims...) }
+
+// NewTorus returns a torus (k-ary n-cube) with the given extents.
+func NewTorus(dims ...int) *Mesh { return topology.NewTorus(dims...) }
+
+// NewGeneralizedHypercube builds GH(dims...).
+func NewGeneralizedHypercube(dims ...int) *GeneralizedHypercube {
+	return topology.NewGeneralizedHypercube(dims...)
+}
+
+// NewHypercube builds the binary n-cube with 2^n nodes.
+func NewHypercube(n int) *GeneralizedHypercube { return topology.NewHypercube(n) }
+
+// Routing.
+type (
+	// Selector is a minimal routing function.
+	Selector = routing.Selector
+)
+
+// NewDOR returns deterministic dimension-order routing over m.
+func NewDOR(m *Mesh, order ...int) Selector { return routing.NewDOR(m, order...) }
+
+// NewWestFirst returns the west-first turn-model adaptive routing
+// function over m (generalised to negative-first in 3D).
+func NewWestFirst(m *Mesh) Selector { return routing.NewWestFirst(m) }
+
+// NewOddEven returns Chiu's odd-even turn-model adaptive routing.
+func NewOddEven(m *Mesh) Selector { return routing.NewOddEven(m) }
+
+// Network simulation.
+type (
+	// Config carries the network timing and port parameters.
+	Config = network.Config
+	// Network is the simulated wormhole interconnect.
+	Network = network.Network
+	// Transfer describes one worm to inject.
+	Transfer = network.Transfer
+	// Simulator is the discrete-event kernel.
+	Simulator = sim.Simulator
+	// Time is simulated time in microseconds.
+	Time = sim.Time
+)
+
+// DefaultConfig returns the paper's baseline timing: Ts=1.5 µs,
+// β=0.003 µs/flit, one injection port.
+func DefaultConfig() Config { return network.DefaultConfig() }
+
+// NewSimulator returns an empty discrete-event simulator.
+func NewSimulator() *Simulator { return sim.New() }
+
+// NewNetwork builds a wormhole network over topo driven by s.
+func NewNetwork(s *Simulator, topo Topology, cfg Config) (*Network, error) {
+	return network.New(s, topo, cfg)
+}
+
+// Broadcast algorithms.
+type (
+	// Algorithm plans broadcasts on a mesh.
+	Algorithm = broadcast.Algorithm
+	// Plan is a broadcast schedule.
+	Plan = broadcast.Plan
+	// Result reports one executed broadcast.
+	Result = broadcast.Result
+	// ExecOptions configures plan execution on a network.
+	ExecOptions = broadcast.Options
+)
+
+// NewRD returns the Recursive Doubling planner (Barnett et al.).
+func NewRD() Algorithm { return broadcast.NewRD() }
+
+// NewEDN returns the Extended Dominating Node planner (Tsai & McKinley).
+func NewEDN() Algorithm { return broadcast.NewEDN() }
+
+// NewDB returns the paper's Deterministic Broadcast planner.
+func NewDB() Algorithm { return broadcast.NewDB() }
+
+// NewAB returns the paper's Adaptive Broadcast planner.
+func NewAB() Algorithm { return broadcast.NewAB() }
+
+// Algorithms returns all four planners in the paper's order.
+func Algorithms() []Algorithm { return experiments.PaperAlgorithms() }
+
+// RunBroadcast executes one single-source broadcast of length flits
+// from src on an idle network over m and returns the per-node arrival
+// results.
+func RunBroadcast(m *Mesh, algo Algorithm, src NodeID, cfg Config, length int) (*Result, error) {
+	return broadcast.RunSingle(m, algo, src, cfg, length)
+}
+
+// StepStats summarises the arrivals of one message-passing step.
+type StepStats = broadcast.StepStats
+
+// StepBreakdown attributes each destination's arrival to the plan
+// step that covered it — the quantitative form of the paper's
+// node-level parallelism argument.
+func StepBreakdown(m *Mesh, r *Result) []StepStats { return broadcast.StepBreakdown(m, r) }
+
+// FormatBreakdown renders a step breakdown as an aligned text table.
+func FormatBreakdown(algo string, breakdown []StepStats) string {
+	return broadcast.FormatBreakdown(algo, breakdown)
+}
+
+// ExecuteBroadcast wires a validated plan into an existing network;
+// the result fills in as the caller advances the simulator. Use this
+// to overlap several broadcasts in one simulation.
+func ExecuteBroadcast(net *Network, plan *Plan, opt ExecOptions) (*Result, error) {
+	return broadcast.Execute(net, plan, opt)
+}
+
+// Statistics and studies.
+type (
+	// Accumulator collects running moments.
+	Accumulator = stats.Accumulator
+	// Interval is a confidence interval.
+	Interval = stats.Interval
+	// SingleSourceStats aggregates replicated broadcast studies.
+	SingleSourceStats = metrics.SingleSourceStats
+	// ContendedConfig parameterises the node-level CV study.
+	ContendedConfig = metrics.ContendedConfig
+	// MixedConfig parameterises the 90/10 unicast/broadcast workload.
+	MixedConfig = traffic.MixedConfig
+	// MixedResult reports a mixed-traffic run.
+	MixedResult = traffic.MixedResult
+)
+
+// SingleSourceStudy runs reps uncontended broadcasts from random
+// sources and aggregates latency and arrival-time CV.
+func SingleSourceStudy(m *Mesh, algo Algorithm, cfg Config, length, reps int, seed uint64) (*SingleSourceStats, error) {
+	return metrics.SingleSourceStudy(m, algo, cfg, length, reps, seed)
+}
+
+// ContendedCVStudy runs overlapping broadcasts from random sources on
+// one shared network — the paper's §3.2 node-level study.
+func ContendedCVStudy(m *Mesh, algo Algorithm, cfg ContendedConfig) (*SingleSourceStats, error) {
+	return metrics.ContendedCVStudy(m, algo, cfg)
+}
+
+// RunMixed executes the §3.3 mixed unicast/broadcast workload.
+func RunMixed(m *Mesh, cfg MixedConfig) (*MixedResult, error) {
+	return traffic.RunMixed(m, cfg)
+}
+
+// Paper experiments.
+type (
+	// Figure is a reproduced paper figure.
+	Figure = experiments.Figure
+	// CVTable is a reproduced paper table (Tables 1 and 2).
+	CVTable = experiments.CVTable
+	// Fig1Config parameterises the Fig. 1 sweep.
+	Fig1Config = experiments.Fig1Config
+	// Fig2Config parameterises Fig. 2 and Tables 1–2.
+	Fig2Config = experiments.Fig2Config
+	// Fig34Config parameterises Figs. 3 and 4.
+	Fig34Config = experiments.Fig34Config
+)
+
+// Fig1 reproduces Fig. 1 (latency vs network size).
+func Fig1(cfg Fig1Config) (*Figure, error) { return experiments.Fig1(cfg) }
+
+// Fig1StartupLatency reproduces §3.1's Ts=0.15 µs sensitivity sweep.
+func Fig1StartupLatency(cfg Fig1Config) (*Figure, error) {
+	return experiments.Fig1StartupLatency(cfg)
+}
+
+// Fig2 reproduces Fig. 2 (arrival-time CV vs network size).
+func Fig2(cfg Fig2Config) (*Figure, error) { return experiments.Fig2(cfg) }
+
+// Tables reproduces Tables 1 and 2 (CV and improvement percentages).
+func Tables(cfg Fig2Config) (*CVTable, *CVTable, error) { return experiments.Tables(cfg) }
+
+// Fig34 reproduces Fig. 3 (8×8×8) or Fig. 4 (16×16×8) mixed-traffic
+// latency curves, selected by cfg.Dims.
+func Fig34(cfg Fig34Config) (*Figure, error) { return experiments.Fig34(cfg) }

@@ -1,0 +1,138 @@
+package wormsim_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// TestFacadeRoundTrip exercises the public API end to end the way
+// README's quick start does.
+func TestFacadeRoundTrip(t *testing.T) {
+	m := wormsim.NewMesh(4, 4, 4)
+	for _, algo := range wormsim.Algorithms() {
+		r, err := wormsim.RunBroadcast(m, algo, m.ID(1, 2, 3), wormsim.DefaultConfig(), 64)
+		if err != nil {
+			t.Fatalf("%s: %v", algo.Name(), err)
+		}
+		if !r.Done || r.Latency() <= 0 {
+			t.Fatalf("%s: bad result %+v", algo.Name(), r)
+		}
+	}
+}
+
+func TestFacadeTopologies(t *testing.T) {
+	if n := wormsim.NewTorus(4, 4).Nodes(); n != 16 {
+		t.Errorf("torus nodes = %d", n)
+	}
+	if n := wormsim.NewHypercube(5).Nodes(); n != 32 {
+		t.Errorf("hypercube nodes = %d", n)
+	}
+	if n := wormsim.NewGeneralizedHypercube(3, 4).Nodes(); n != 12 {
+		t.Errorf("ghc nodes = %d", n)
+	}
+}
+
+func TestFacadeSelectors(t *testing.T) {
+	m := wormsim.NewMesh(4, 4)
+	for _, sel := range []wormsim.Selector{
+		wormsim.NewDOR(m),
+		wormsim.NewWestFirst(m),
+		wormsim.NewOddEven(m),
+	} {
+		hops := sel.NextHops(m.ID(0, 0), m.ID(3, 3))
+		if len(hops) == 0 {
+			t.Errorf("%s returned no candidates", sel.Name())
+		}
+	}
+}
+
+// TestFacadeManualNetwork drives the low-level API: build a network,
+// inject a transfer, run the simulator.
+func TestFacadeManualNetwork(t *testing.T) {
+	m := wormsim.NewMesh(4, 4)
+	s := wormsim.NewSimulator()
+	net, err := wormsim.NewNetwork(s, m, wormsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := false
+	err = net.Send(0, &wormsim.Transfer{
+		Source:    m.ID(0, 0),
+		Waypoints: []wormsim.NodeID{m.ID(3, 3)},
+		Length:    32,
+		OnDeliver: func(_ wormsim.NodeID, _ wormsim.Time) { delivered = true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if !delivered {
+		t.Fatal("transfer not delivered")
+	}
+	if net.MeanUtilization() <= 0 {
+		t.Error("utilization accounting empty")
+	}
+}
+
+// TestFacadeExecutePlan overlaps two broadcasts on one network.
+func TestFacadeExecutePlan(t *testing.T) {
+	m := wormsim.NewMesh(4, 4, 4)
+	s := wormsim.NewSimulator()
+	cfg := wormsim.DefaultConfig()
+	net, err := wormsim.NewNetwork(s, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []*wormsim.Result
+	for i, src := range []wormsim.NodeID{0, 63} {
+		plan, err := wormsim.NewDB().Plan(m, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := wormsim.ExecuteBroadcast(net, plan, wormsim.ExecOptions{
+			Start:  wormsim.Time(i) * 2,
+			Length: 32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, r)
+	}
+	s.Run()
+	for i, r := range results {
+		if !r.Done {
+			t.Fatalf("broadcast %d incomplete", i)
+		}
+	}
+}
+
+func TestFacadeStudies(t *testing.T) {
+	m := wormsim.NewMesh(4, 4, 4)
+	st, err := wormsim.SingleSourceStudy(m, wormsim.NewAB(), wormsim.DefaultConfig(), 32, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Latency.N() != 4 {
+		t.Errorf("study samples = %d", st.Latency.N())
+	}
+	cst, err := wormsim.ContendedCVStudy(m, wormsim.NewDB(), wormsim.ContendedConfig{
+		Net: wormsim.DefaultConfig(), Length: 32, Broadcasts: 4, Interarrival: 5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cst.CV.Mean() <= 0 {
+		t.Errorf("contended CV = %v", cst.CV.Mean())
+	}
+	mr, err := wormsim.RunMixed(m, wormsim.MixedConfig{
+		Rate: 0.002, BroadcastFraction: 0.1, Length: 32,
+		Algorithm: wormsim.NewAB(), Seed: 3, BatchSize: 10, Batches: 4, Warmup: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.MeanLatency <= 0 {
+		t.Errorf("mixed latency = %v", mr.MeanLatency)
+	}
+}
