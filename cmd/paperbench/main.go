@@ -4,6 +4,14 @@
 //	paperbench            # full runs (paper-sized replication counts)
 //	paperbench -quick     # reduced replication for a fast smoke run
 //	paperbench -only fig1 # one artifact: fig1, fig1b, fig2, tables, fig3, fig4
+//	paperbench -procs 8   # fan replications out over 8 workers
+//
+// Replications run in parallel on -procs workers (default: all
+// cores). Output is bit-identical for any -procs value and a fixed
+// -seed: per-replication randomness is derived from (seed,
+// replication), never from scheduling. Live progress is reported on
+// stderr; figures and tables go to stdout, so redirecting stdout
+// captures exactly the artifacts.
 package main
 
 import (
@@ -27,6 +35,9 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write each artifact as CSV into this directory")
 		batchesF = flag.Int("batches", 0, "override batch count for the traffic figures")
 		batchSzF = flag.Int("batchsize", 0, "override batch size for the traffic figures")
+		procs    = flag.Int("procs", 0, "max parallel replications (0 = all cores); output is identical for any value")
+		repsF    = flag.Int("reps", 0, "override replication count for the replicated figures (0 = default)")
+		progress = flag.Bool("progress", true, "report live progress on stderr")
 	)
 	flag.Parse()
 
@@ -65,11 +76,39 @@ func main() {
 		reps = 8
 		batches, batchSize = 6, 40
 	}
+	if *repsF > 0 {
+		reps = *repsF
+	}
 	if *batchesF > 0 {
 		batches = *batchesF
 	}
 	if *batchSzF > 0 {
 		batchSize = *batchSzF
+	}
+
+	// Live progress is a carriage-return-overwritten stderr line,
+	// erased when the artifact completes so only stdout output
+	// remains. It needs a terminal: into a pipe or log file the
+	// control characters are garbage, so it is disabled there.
+	progressOn := *progress && stderrIsTerminal()
+	reporter := func(id string) func(done, total int) {
+		if !progressOn {
+			return nil
+		}
+		return func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%s: %d/%d", id, done, total)
+			if done == total {
+				fmt.Fprint(os.Stderr, "\r\033[K")
+			}
+		}
+	}
+	// clearProgress erases a partially drawn progress line so error
+	// messages start on a clean line (a failed driver never reaches
+	// done == total).
+	clearProgress := func() {
+		if progressOn {
+			fmt.Fprint(os.Stderr, "\r\033[K")
+		}
 	}
 
 	run := func(id string, fn func() (*experiments.Figure, error)) {
@@ -79,6 +118,7 @@ func main() {
 		start := time.Now()
 		fig, err := fn()
 		if err != nil {
+			clearProgress()
 			fmt.Fprintf(os.Stderr, "paperbench: %s failed: %v\n", id, err)
 			os.Exit(1)
 		}
@@ -88,18 +128,51 @@ func main() {
 	}
 
 	run("fig1", func() (*experiments.Figure, error) {
-		return wormsim.Fig1(wormsim.Fig1Config{Reps: reps, Seed: *seed})
+		return wormsim.Fig1(wormsim.Fig1Config{
+			Reps: reps, Seed: *seed, Procs: *procs, Progress: reporter("fig1"),
+		})
 	})
 	run("fig1b", func() (*experiments.Figure, error) {
-		return wormsim.Fig1StartupLatency(wormsim.Fig1Config{Reps: reps, Seed: *seed})
+		return wormsim.Fig1StartupLatency(wormsim.Fig1Config{
+			Reps: reps, Seed: *seed, Procs: *procs, Progress: reporter("fig1b"),
+		})
 	})
-	run("fig2", func() (*experiments.Figure, error) {
-		return wormsim.Fig2(wormsim.Fig2Config{Reps: reps, Seed: *seed})
-	})
-	if selected("tables") {
+	// Fig. 2 and Tables 1–2 are projections of the same (algorithm,
+	// mesh) study grid — when both are selected, compute the grid
+	// once via Fig2AndTables instead of simulating it twice.
+	switch {
+	case selected("fig2") && selected("tables"):
 		start := time.Now()
-		t1, t2, err := wormsim.Tables(wormsim.Fig2Config{Reps: reps, Seed: *seed})
+		fig, t1, t2, err := wormsim.Fig2AndTables(wormsim.Fig2Config{
+			Reps: reps, Seed: *seed, Procs: *procs, Progress: reporter("fig2+tables"),
+		})
 		if err != nil {
+			clearProgress()
+			fmt.Fprintf(os.Stderr, "paperbench: fig2+tables failed: %v\n", err)
+			os.Exit(1)
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		fmt.Println(fig)
+		fmt.Printf("(fig2 regenerated in %v, study grid shared with tables)\n\n", elapsed)
+		fmt.Println(t1.Format())
+		fmt.Println(t2.Format())
+		fmt.Printf("(tables regenerated in %v, study grid shared with fig2)\n\n", elapsed)
+		writeCSV("fig2.csv", func(f *os.File) error { return export.FigureCSV(f, fig) })
+		writeCSV("table1.csv", func(f *os.File) error { return export.TableCSV(f, t1) })
+		writeCSV("table2.csv", func(f *os.File) error { return export.TableCSV(f, t2) })
+	case selected("fig2"):
+		run("fig2", func() (*experiments.Figure, error) {
+			return wormsim.Fig2(wormsim.Fig2Config{
+				Reps: reps, Seed: *seed, Procs: *procs, Progress: reporter("fig2"),
+			})
+		})
+	case selected("tables"):
+		start := time.Now()
+		t1, t2, err := wormsim.Tables(wormsim.Fig2Config{
+			Reps: reps, Seed: *seed, Procs: *procs, Progress: reporter("tables"),
+		})
+		if err != nil {
+			clearProgress()
 			fmt.Fprintf(os.Stderr, "paperbench: tables failed: %v\n", err)
 			os.Exit(1)
 		}
@@ -111,12 +184,22 @@ func main() {
 	}
 	run("fig3", func() (*experiments.Figure, error) {
 		return wormsim.Fig34(wormsim.Fig34Config{
-			Dims: []int{8, 8, 8}, Batches: batches, BatchSize: batchSize, Warmup: 1, Seed: *seed,
+			Dims: []int{8, 8, 8}, Batches: batches, BatchSize: batchSize, Warmup: 1,
+			Seed: *seed, Procs: *procs, Progress: reporter("fig3"),
 		})
 	})
 	run("fig4", func() (*experiments.Figure, error) {
 		return wormsim.Fig34(wormsim.Fig34Config{
-			Dims: []int{16, 16, 8}, Batches: batches, BatchSize: batchSize, Warmup: 1, Seed: *seed,
+			Dims: []int{16, 16, 8}, Batches: batches, BatchSize: batchSize, Warmup: 1,
+			Seed: *seed, Procs: *procs, Progress: reporter("fig4"),
 		})
 	})
+}
+
+// stderrIsTerminal reports whether stderr is attached to a terminal
+// (character device), the only place the \r progress line renders
+// usefully.
+func stderrIsTerminal() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
 }

@@ -6,6 +6,10 @@
 //
 // Available sweeps: fig1, fig1b, fig2, fig3, fig4, table1, table2,
 // ablation-length, ablation-hop, ablation-substrate, ablation-ports.
+//
+// Replications run in parallel on -procs workers (default: all
+// cores); output is bit-identical for any -procs value at a fixed
+// -seed.
 package main
 
 import (
@@ -27,6 +31,7 @@ func main() {
 		reps     = flag.Int("reps", 0, "replication override (0 = experiment default)")
 		seed     = flag.Uint64("seed", 2005, "random seed")
 		out      = flag.String("o", "", "output file (default stdout)")
+		procs    = flag.Int("procs", 0, "max parallel replications (0 = all cores); output is identical for any value")
 	)
 	flag.Parse()
 
@@ -48,22 +53,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	abl := experiments.AblationConfig{Dims: dims, Reps: *reps, Seed: *seed}
+	abl := experiments.AblationConfig{Dims: dims, Reps: *reps, Seed: *seed, Procs: *procs}
 
 	var fig *experiments.Figure
 	switch strings.ToLower(*what) {
 	case "fig1":
-		fig, err = experiments.Fig1(experiments.Fig1Config{Reps: *reps, Seed: *seed})
+		fig, err = experiments.Fig1(experiments.Fig1Config{Reps: *reps, Seed: *seed, Procs: *procs})
 	case "fig1b":
-		fig, err = experiments.Fig1StartupLatency(experiments.Fig1Config{Reps: *reps, Seed: *seed})
+		fig, err = experiments.Fig1StartupLatency(experiments.Fig1Config{Reps: *reps, Seed: *seed, Procs: *procs})
 	case "fig2":
-		fig, err = experiments.Fig2(experiments.Fig2Config{Reps: *reps, Seed: *seed})
+		fig, err = experiments.Fig2(experiments.Fig2Config{Reps: *reps, Seed: *seed, Procs: *procs})
 	case "fig3":
-		fig, err = experiments.Fig34(experiments.Fig34Config{Dims: []int{8, 8, 8}, Seed: *seed})
+		fig, err = experiments.Fig34(experiments.Fig34Config{Dims: []int{8, 8, 8}, Seed: *seed, Procs: *procs})
 	case "fig4":
-		fig, err = experiments.Fig34(experiments.Fig34Config{Dims: []int{16, 16, 8}, Seed: *seed})
+		fig, err = experiments.Fig34(experiments.Fig34Config{Dims: []int{16, 16, 8}, Seed: *seed, Procs: *procs})
 	case "table1", "table2":
-		t1, t2, terr := experiments.Tables(experiments.Fig2Config{Reps: *reps, Seed: *seed})
+		t1, t2, terr := experiments.Tables(experiments.Fig2Config{Reps: *reps, Seed: *seed, Procs: *procs})
 		if terr != nil {
 			fatal(terr)
 		}

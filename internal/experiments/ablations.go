@@ -4,16 +4,19 @@ import (
 	"fmt"
 
 	"repro/internal/broadcast"
-	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/topology"
 )
 
 // Ablation drivers for the design choices DESIGN.md calls out. They
 // are not paper artifacts; they quantify how much each modelling
-// decision matters.
+// decision matters. Like the figure drivers, every ablation fans its
+// replications out over a runner.Pool with sim.Substream randomness,
+// so results are bit-identical for any Procs value.
 
 // AblationConfig parameterises the ablation sweeps.
 type AblationConfig struct {
@@ -23,8 +26,14 @@ type AblationConfig struct {
 	Length int
 	// Reps is the number of random-source replications (default 10).
 	Reps int
-	// Seed drives source selection.
+	// Seed drives source selection; replication i draws from
+	// sim.Substream(Seed, i).
 	Seed uint64
+	// Procs caps the worker count; 0 means one worker per core.
+	Procs int
+	// Progress, when non-nil, receives (done, total) completed-
+	// replication counts as the sweep advances.
+	Progress func(done, total int)
 }
 
 func (c *AblationConfig) setDefaults() {
@@ -39,6 +48,47 @@ func (c *AblationConfig) setDefaults() {
 	}
 }
 
+// source returns the replication's broadcast source, a pure function
+// of (Seed, rep) so any execution order reproduces it.
+func (c *AblationConfig) source(m *topology.Mesh, rep int) topology.NodeID {
+	return topology.NodeID(sim.Substream(c.Seed, uint64(rep)).Intn(m.Nodes()))
+}
+
+// cellSweep runs the common grid ablation: every (algorithm, x) cell
+// of the sweep replicated Reps times, with the FULL algos×xs×reps
+// index space submitted to the pool as one Map so parallelism is
+// never capped by a single cell's replication count. run executes one
+// replication of cell (algo, xs[xi]) with the given source and
+// returns its latency; cells aggregate to mean + 95% CI in
+// replication order.
+func (c *AblationConfig) cellSweep(fig *Figure, m *topology.Mesh, xs []float64,
+	run func(algo broadcast.Algorithm, xi int, src topology.NodeID) (float64, error)) error {
+	algos := PaperAlgorithms()
+	jobs := len(algos) * len(xs) * c.Reps
+	p := pool(c.Procs, jobs, c.Progress)
+	lats, err := runner.Map(p, jobs, func(k int) (float64, error) {
+		algo := algos[k/(len(xs)*c.Reps)]
+		xi := (k / c.Reps) % len(xs)
+		return run(algo, xi, c.source(m, k%c.Reps))
+	})
+	if err != nil {
+		return err
+	}
+	for a, algo := range algos {
+		s := Series{Label: algo.Name()}
+		for xi, x := range xs {
+			var acc stats.Accumulator
+			base := (a*len(xs) + xi) * c.Reps
+			for i := 0; i < c.Reps; i++ {
+				acc.Add(lats[base+i])
+			}
+			s.Points = append(s.Points, Point{X: x, Y: acc.Mean(), CI: acc.Confidence95()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return nil
+}
+
 // AblationMessageLength sweeps the paper's stated message-length
 // range (32–2048 flits): latency should shift by L·β while the
 // algorithm ordering is preserved (wormhole distance insensitivity).
@@ -51,16 +101,16 @@ func AblationMessageLength(cfg AblationConfig) (*Figure, error) {
 		XLabel: "flits",
 		YLabel: "latency (µs)",
 	}
-	for _, algo := range PaperAlgorithms() {
-		s := Series{Label: algo.Name()}
-		for _, length := range []int{32, 64, 128, 256, 512, 1024, 2048} {
-			st, err := metrics.SingleSourceStudy(m, algo, baseConfig(1.5), length, cfg.Reps, cfg.Seed)
-			if err != nil {
-				return nil, fmt.Errorf("ablation-L %s: %w", algo.Name(), err)
-			}
-			s.Points = append(s.Points, Point{X: float64(length), Y: st.Latency.Mean()})
+	lengths := []float64{32, 64, 128, 256, 512, 1024, 2048}
+	err := cfg.cellSweep(fig, m, lengths, func(algo broadcast.Algorithm, xi int, src topology.NodeID) (float64, error) {
+		r, err := broadcast.RunSingle(m, algo, src, baseConfig(1.5), int(lengths[xi]))
+		if err != nil {
+			return 0, fmt.Errorf("ablation-L %s at %g flits: %w", algo.Name(), lengths[xi], err)
 		}
-		fig.Series = append(fig.Series, s)
+		return r.Latency(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
@@ -78,25 +128,28 @@ func AblationHopDelay(cfg AblationConfig) (*Figure, error) {
 		XLabel: "hop delay (µs)",
 		YLabel: "latency (µs)",
 	}
-	for _, algo := range PaperAlgorithms() {
-		s := Series{Label: algo.Name()}
-		for _, hop := range []float64{0.003, 0.01, 0.03, 0.1, 0.3} {
-			ncfg := baseConfig(1.5)
-			ncfg.HopDelay = hop
-			st, err := metrics.SingleSourceStudy(m, algo, ncfg, cfg.Length, cfg.Reps, cfg.Seed)
-			if err != nil {
-				return nil, fmt.Errorf("ablation-hop %s: %w", algo.Name(), err)
-			}
-			s.Points = append(s.Points, Point{X: hop, Y: st.Latency.Mean()})
+	hops := []float64{0.003, 0.01, 0.03, 0.1, 0.3}
+	err := cfg.cellSweep(fig, m, hops, func(algo broadcast.Algorithm, xi int, src topology.NodeID) (float64, error) {
+		ncfg := baseConfig(1.5)
+		ncfg.HopDelay = hops[xi]
+		r, err := broadcast.RunSingle(m, algo, src, ncfg, cfg.Length)
+		if err != nil {
+			return 0, fmt.Errorf("ablation-hop %s at %g µs: %w", algo.Name(), hops[xi], err)
 		}
-		fig.Series = append(fig.Series, s)
+		return r.Latency(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
 
 // AblationAdaptiveSubstrate compares AB over its west-first turn
 // model against AB over the odd-even turn model ([7], the alternative
-// the paper names) and against plain dimension-order routing.
+// the paper names) and against plain dimension-order routing. All
+// substrates replay the same Substream-derived source sequence, so
+// the comparison is paired; the (substrate, replication) grid runs in
+// parallel on the worker pool.
 func AblationAdaptiveSubstrate(cfg AblationConfig) (*Figure, error) {
 	cfg.setDefaults()
 	m := topology.NewMesh(cfg.Dims...)
@@ -115,39 +168,44 @@ func AblationAdaptiveSubstrate(cfg AblationConfig) (*Figure, error) {
 		{"dor", nil},
 	}
 	ab := broadcast.NewAB()
-	rng := sim.NewRNG(cfg.Seed, 53)
-	sources := make([]topology.NodeID, cfg.Reps)
-	for i := range sources {
-		sources[i] = topology.NodeID(rng.Intn(m.Nodes()))
+	jobs := len(substrates) * cfg.Reps
+	p := pool(cfg.Procs, jobs, cfg.Progress)
+	lats, err := runner.Map(p, jobs, func(k int) (float64, error) {
+		sub, rep := substrates[k/cfg.Reps], k%cfg.Reps
+		src := cfg.source(m, rep)
+		plan, err := ab.Plan(m, src)
+		if err != nil {
+			return 0, err
+		}
+		if err := plan.Validate(m); err != nil {
+			return 0, err
+		}
+		sm := sim.New()
+		net, err := network.New(sm, m, baseConfig(1.5))
+		if err != nil {
+			return 0, err
+		}
+		r, err := broadcast.Execute(net, plan, broadcast.Options{
+			Length:   cfg.Length,
+			Adaptive: sub.sel,
+			Tag:      "ablation",
+		})
+		if err != nil {
+			return 0, err
+		}
+		sm.Run()
+		if !r.Done {
+			return 0, fmt.Errorf("ablation-substrate %s: broadcast stalled", sub.name)
+		}
+		return r.Latency(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, sub := range substrates {
+	for si, sub := range substrates {
 		s := Series{Label: sub.name}
-		for i, src := range sources {
-			plan, err := ab.Plan(m, src)
-			if err != nil {
-				return nil, err
-			}
-			if err := plan.Validate(m); err != nil {
-				return nil, err
-			}
-			sm := sim.New()
-			net, err := network.New(sm, m, baseConfig(1.5))
-			if err != nil {
-				return nil, err
-			}
-			r, err := broadcast.Execute(net, plan, broadcast.Options{
-				Length:   cfg.Length,
-				Adaptive: sub.sel,
-				Tag:      "ablation",
-			})
-			if err != nil {
-				return nil, err
-			}
-			sm.Run()
-			if !r.Done {
-				return nil, fmt.Errorf("ablation-substrate %s: broadcast stalled", sub.name)
-			}
-			s.Points = append(s.Points, Point{X: float64(i), Y: r.Latency()})
+		for i := 0; i < cfg.Reps; i++ {
+			s.Points = append(s.Points, Point{X: float64(i), Y: lats[si*cfg.Reps+i]})
 		}
 		fig.Series = append(fig.Series, s)
 	}
@@ -156,7 +214,9 @@ func AblationAdaptiveSubstrate(cfg AblationConfig) (*Figure, error) {
 
 // AblationPortModel runs every algorithm under one-port and
 // three-port routers: EDN is the algorithm whose schedule needs the
-// fan-out, so it should gain the most from the extra ports.
+// fan-out, so it should gain the most from the extra ports. Sources
+// depend only on (Seed, replication), so the one-port and three-port
+// runs of each algorithm are paired on identical source sequences.
 func AblationPortModel(cfg AblationConfig) (*Figure, error) {
 	cfg.setDefaults()
 	m := topology.NewMesh(cfg.Dims...)
@@ -166,45 +226,39 @@ func AblationPortModel(cfg AblationConfig) (*Figure, error) {
 		XLabel: "ports",
 		YLabel: "latency (µs)",
 	}
-	for _, algo := range PaperAlgorithms() {
-		s := Series{Label: algo.Name()}
-		for _, ports := range []int{1, 3} {
-			ncfg := baseConfig(1.5)
-			ncfg.Ports = ports
-			var acc float64
-			rng := sim.NewRNG(cfg.Seed, 59)
-			for i := 0; i < cfg.Reps; i++ {
-				src := topology.NodeID(rng.Intn(m.Nodes()))
-				plan, err := algo.Plan(m, src)
-				if err != nil {
-					return nil, err
-				}
-				sm := sim.New()
-				net, err := network.New(sm, m, ncfg)
-				if err != nil {
-					return nil, err
-				}
-				var adaptive routing.Selector
-				if algo.Name() == "AB" {
-					adaptive = routing.NewWestFirst(m)
-				}
-				r, err := broadcast.Execute(net, plan, broadcast.Options{
-					Length:   cfg.Length,
-					Adaptive: adaptive,
-					Tag:      "ablation",
-				})
-				if err != nil {
-					return nil, err
-				}
-				sm.Run()
-				if !r.Done {
-					return nil, fmt.Errorf("ablation-ports %s: broadcast stalled", algo.Name())
-				}
-				acc += r.Latency()
-			}
-			s.Points = append(s.Points, Point{X: float64(ports), Y: acc / float64(cfg.Reps)})
+	ports := []float64{1, 3}
+	err := cfg.cellSweep(fig, m, ports, func(algo broadcast.Algorithm, xi int, src topology.NodeID) (float64, error) {
+		ncfg := baseConfig(1.5)
+		ncfg.Ports = int(ports[xi])
+		plan, err := algo.Plan(m, src)
+		if err != nil {
+			return 0, err
 		}
-		fig.Series = append(fig.Series, s)
+		sm := sim.New()
+		net, err := network.New(sm, m, ncfg)
+		if err != nil {
+			return 0, err
+		}
+		var adaptive routing.Selector
+		if algo.Name() == "AB" {
+			adaptive = routing.NewWestFirst(m)
+		}
+		r, err := broadcast.Execute(net, plan, broadcast.Options{
+			Length:   cfg.Length,
+			Adaptive: adaptive,
+			Tag:      "ablation",
+		})
+		if err != nil {
+			return 0, err
+		}
+		sm.Run()
+		if !r.Done {
+			return 0, fmt.Errorf("ablation-ports %s: broadcast stalled", algo.Name())
+		}
+		return r.Latency(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }

@@ -1,0 +1,141 @@
+package experiments
+
+import "testing"
+
+// The orchestration layer's core guarantee: every driver's output is
+// bit-identical for any worker count, because replication randomness
+// is keyed on (seed, replication) and aggregation happens in
+// replication order. These tests render each artifact at -procs 1,
+// -procs 4 and -procs 0 (GOMAXPROCS) and compare the bytes. Run with
+// -race (the CI workflow does) and they double as a data-race probe
+// over the whole fan-out path.
+
+// procsMatrix is the set of worker counts every artifact is rendered
+// under; 0 means one worker per core.
+var procsMatrix = []int{1, 4, 0}
+
+func formatsAgree(t *testing.T, name string, render func(procs int) (string, error)) {
+	t.Helper()
+	want, err := render(1)
+	if err != nil {
+		t.Fatalf("%s procs=1: %v", name, err)
+	}
+	if want == "" {
+		t.Fatalf("%s rendered empty", name)
+	}
+	for _, procs := range procsMatrix[1:] {
+		got, err := render(procs)
+		if err != nil {
+			t.Fatalf("%s procs=%d: %v", name, procs, err)
+		}
+		if got != want {
+			t.Errorf("%s: procs=%d output differs from serial\n--- procs=1 ---\n%s\n--- procs=%d ---\n%s",
+				name, procs, want, procs, got)
+		}
+	}
+}
+
+func TestFig1DeterministicAcrossProcs(t *testing.T) {
+	formatsAgree(t, "fig1", func(procs int) (string, error) {
+		fig, err := Fig1(Fig1Config{
+			Sizes: [][]int{{4, 4, 4}, {6, 6, 6}},
+			Reps:  6, Seed: 2005, Procs: procs,
+		})
+		if err != nil {
+			return "", err
+		}
+		return fig.Format(), nil
+	})
+}
+
+func TestFig2DeterministicAcrossProcs(t *testing.T) {
+	formatsAgree(t, "fig2", func(procs int) (string, error) {
+		fig, err := Fig2(Fig2Config{
+			Sizes: [][]int{{4, 4, 4}, {4, 4, 8}},
+			Reps:  8, Seed: 2005, Procs: procs,
+		})
+		if err != nil {
+			return "", err
+		}
+		return fig.Format(), nil
+	})
+}
+
+func TestTablesDeterministicAcrossProcs(t *testing.T) {
+	formatsAgree(t, "tables", func(procs int) (string, error) {
+		t1, t2, err := Tables(Fig2Config{
+			Sizes: [][]int{{4, 4, 4}, {4, 4, 8}},
+			Reps:  8, Seed: 2005, Procs: procs,
+		})
+		if err != nil {
+			return "", err
+		}
+		return t1.Format() + t2.Format(), nil
+	})
+}
+
+func TestFig34DeterministicAcrossProcs(t *testing.T) {
+	formatsAgree(t, "fig34", func(procs int) (string, error) {
+		fig, err := Fig34(Fig34Config{
+			Dims:      []int{4, 4, 4},
+			Loads:     []float64{0.005, 0.02},
+			BatchSize: 20, Batches: 4, Warmup: 1,
+			Seed: 2005, Procs: procs,
+		})
+		if err != nil {
+			return "", err
+		}
+		return fig.Format(), nil
+	})
+}
+
+func TestAblationsDeterministicAcrossProcs(t *testing.T) {
+	cfg := func(procs int) AblationConfig {
+		return AblationConfig{Dims: []int{4, 4, 4}, Length: 64, Reps: 4, Seed: 7, Procs: procs}
+	}
+	drivers := []struct {
+		name string
+		run  func(AblationConfig) (*Figure, error)
+	}{
+		{"length", AblationMessageLength},
+		{"hop", AblationHopDelay},
+		{"substrate", AblationAdaptiveSubstrate},
+		{"ports", AblationPortModel},
+	}
+	for _, d := range drivers {
+		formatsAgree(t, "ablation-"+d.name, func(procs int) (string, error) {
+			fig, err := d.run(cfg(procs))
+			if err != nil {
+				return "", err
+			}
+			return fig.Format(), nil
+		})
+	}
+}
+
+// TestProgressReportsCompleteAndMonotone pins the live-progress
+// contract the CLIs rely on: done counts arrive serialised, never
+// regress, and end exactly at total.
+func TestProgressReportsCompleteAndMonotone(t *testing.T) {
+	last, calls := 0, 0
+	_, err := Fig1(Fig1Config{
+		Sizes: [][]int{{4, 4, 4}},
+		Reps:  5, Seed: 3, Procs: 4,
+		Progress: func(done, total int) {
+			calls++
+			if total != 4*1*5 {
+				t.Errorf("total = %d, want 20", total)
+			}
+			if done <= last {
+				t.Errorf("done went %d -> %d", last, done)
+			}
+			last = done
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 20 || last != 20 {
+		t.Errorf("progress: %d calls ending at %d, want 20/20", calls, last)
+	}
+}

@@ -2,20 +2,40 @@
 // paper's evaluation section. Each driver returns a structured result
 // that prints in the same rows/series the paper reports; cmd/paperbench
 // runs them all and EXPERIMENTS.md records paper-vs-measured values.
+//
+// Every driver fans its independent simulation replications out over
+// a runner.Pool. Each config carries two orchestration knobs: Procs
+// caps the worker count (0 = one worker per core) and Progress, when
+// non-nil, receives live (done, total) completion counts. Replication
+// randomness comes from sim.Substream keyed on (seed, replication),
+// and samples are aggregated in replication order, so a driver's
+// output is bit-identical for any Procs value — run with -procs 1 to
+// debug, -procs N to regenerate the paper quickly, and diff nothing.
+//
+// Each aggregated point records its mean and the 95% Student-t
+// confidence interval over replications (Point.CI); cmd/paperbench
+// and cmd/sweep surface the interval in text and CSV output.
 package experiments
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
 	"repro/internal/broadcast"
 	"repro/internal/network"
+	"repro/internal/runner"
+	"repro/internal/stats"
 )
 
 // Point is one (x, y) sample of a series.
 type Point struct {
 	X, Y float64
+	// CI is the 95% confidence interval behind Y when the point
+	// aggregates replications; the zero Interval means no interval
+	// is available (single-shot points).
+	CI stats.Interval
 }
 
 // Series is one algorithm's curve in a figure.
@@ -36,14 +56,33 @@ type Figure struct {
 // String implements fmt.Stringer via Format.
 func (f *Figure) String() string { return f.Format() }
 
+// HasCI reports whether any point of the figure carries a finite
+// confidence interval (at least two replications behind it).
+func (f *Figure) HasCI() bool {
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if p.CI.N > 1 && !math.IsInf(p.CI.HalfWide, 0) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Format renders the figure as an aligned text table, x values as
 // rows and algorithms as columns — the shape of the paper's plots.
+// When the figure carries confidence intervals, each cell prints
+// mean±half-width of the 95% interval.
 func (f *Figure) Format() string {
+	width, ci := 12, f.HasCI()
+	if ci {
+		width = 20
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: %s\n", f.ID, f.Title)
 	fmt.Fprintf(&b, "%-14s", f.XLabel)
 	for _, s := range f.Series {
-		fmt.Fprintf(&b, "%12s", s.Label)
+		fmt.Fprintf(&b, "%*s", width, s.Label)
 	}
 	b.WriteByte('\n')
 
@@ -62,25 +101,29 @@ func (f *Figure) Format() string {
 	for _, x := range sorted {
 		fmt.Fprintf(&b, "%-14g", x)
 		for _, s := range f.Series {
-			y, ok := lookup(s, x)
+			p, ok := lookupPoint(s, x)
 			if !ok {
-				fmt.Fprintf(&b, "%12s", "-")
+				fmt.Fprintf(&b, "%*s", width, "-")
 				continue
 			}
-			fmt.Fprintf(&b, "%12.4f", y)
+			if ci && p.CI.N > 1 && !math.IsInf(p.CI.HalfWide, 0) {
+				fmt.Fprintf(&b, "%*s", width, fmt.Sprintf("%.4f±%.3f", p.Y, p.CI.HalfWide))
+			} else {
+				fmt.Fprintf(&b, "%*.4f", width, p.Y)
+			}
 		}
 		b.WriteByte('\n')
 	}
 	return b.String()
 }
 
-func lookup(s Series, x float64) (float64, bool) {
+func lookupPoint(s Series, x float64) (Point, bool) {
 	for _, p := range s.Points {
 		if p.X == x {
-			return p.Y, true
+			return p, true
 		}
 	}
-	return 0, false
+	return Point{}, false
 }
 
 // PaperAlgorithms returns the four algorithms in the paper's
@@ -100,4 +143,11 @@ func baseConfig(ts float64) network.Config {
 	cfg := network.DefaultConfig()
 	cfg.Ts = ts
 	return cfg
+}
+
+// pool builds the worker pool for one driver run: procs workers (0 =
+// one per core) ticking a live progress counter that expects total
+// completions and reports each to report (which may be nil).
+func pool(procs, total int, report func(done, total int)) *runner.Pool {
+	return runner.New(procs).NotifyEach(runner.NewProgress(total, report).Tick)
 }

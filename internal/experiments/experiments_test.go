@@ -173,8 +173,8 @@ func TestFigureFormat(t *testing.T) {
 		Title:  "test",
 		XLabel: "nodes",
 		Series: []Series{
-			{Label: "RD", Points: []Point{{64, 1.5}, {512, 2.5}}},
-			{Label: "DB", Points: []Point{{64, 1.0}}},
+			{Label: "RD", Points: []Point{{X: 64, Y: 1.5}, {X: 512, Y: 2.5}}},
+			{Label: "DB", Points: []Point{{X: 64, Y: 1.0}}},
 		},
 	}
 	out := fig.Format()
@@ -202,9 +202,9 @@ func at(t *testing.T, series map[string]Series, label string, x float64) float64
 	if !ok {
 		t.Fatalf("no series %q", label)
 	}
-	y, ok := lookup(s, x)
+	p, ok := lookupPoint(s, x)
 	if !ok {
 		t.Fatalf("series %q has no point at %g", label, x)
 	}
-	return y
+	return p.Y
 }

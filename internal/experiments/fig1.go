@@ -3,7 +3,10 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/metrics"
+	"repro/internal/broadcast"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/topology"
 )
 
@@ -20,8 +23,15 @@ type Fig1Config struct {
 	// Reps is the number of random-source replications per point
 	// (paper: at least 40).
 	Reps int
-	// Seed drives source selection.
+	// Seed drives source selection; replication i of any point draws
+	// from sim.Substream(Seed, i), so output is independent of Procs.
 	Seed uint64
+	// Procs caps the replication fan-out worker count; 0 means one
+	// worker per available core.
+	Procs int
+	// Progress, when non-nil, receives (done, total) completed-
+	// replication counts as the sweep advances. Calls are serialised.
+	Progress func(done, total int)
 }
 
 func (c *Fig1Config) setDefaults() {
@@ -40,7 +50,14 @@ func (c *Fig1Config) setDefaults() {
 }
 
 // Fig1 reproduces Fig. 1: single-source broadcast latency of the four
-// algorithms as a function of network size.
+// algorithms as a function of network size. Each (algorithm, size)
+// point is the mean over Reps replications with a 95% confidence
+// interval in Point.CI. The FULL algos×sizes×reps index space is
+// submitted to the pool as one Map, so parallelism is never capped by
+// a single point's replication count and there is no barrier between
+// points; replication i of every cell draws its source from
+// sim.Substream(Seed, i), and aggregation runs in replication order,
+// so output is bit-identical for any Procs value.
 func Fig1(cfg Fig1Config) (*Figure, error) {
 	cfg.setDefaults()
 	fig := &Figure{
@@ -49,16 +66,39 @@ func Fig1(cfg Fig1Config) (*Figure, error) {
 		XLabel: "nodes",
 		YLabel: "latency (µs)",
 	}
-	for _, algo := range PaperAlgorithms() {
+	algos := PaperAlgorithms()
+	meshes := make([]*topology.Mesh, len(cfg.Sizes))
+	for i, dims := range cfg.Sizes {
+		meshes[i] = topology.NewMesh(dims...)
+	}
+	jobs := len(algos) * len(meshes) * cfg.Reps
+	p := pool(cfg.Procs, jobs, cfg.Progress)
+	lats, err := runner.Map(p, jobs, func(k int) (float64, error) {
+		algo := algos[k/(len(meshes)*cfg.Reps)]
+		m := meshes[(k/cfg.Reps)%len(meshes)]
+		src := topology.NodeID(sim.Substream(cfg.Seed, uint64(k%cfg.Reps)).Intn(m.Nodes()))
+		r, err := broadcast.RunSingle(m, algo, src, baseConfig(cfg.Ts), cfg.Length)
+		if err != nil {
+			return 0, fmt.Errorf("fig1 %s on %s: %w", algo.Name(), m.Name(), err)
+		}
+		return r.Latency(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for a, algo := range algos {
 		s := Series{Label: algo.Name()}
-		for _, dims := range cfg.Sizes {
-			m := topology.NewMesh(dims...)
-			ncfg := baseConfig(cfg.Ts)
-			st, err := metrics.SingleSourceStudy(m, algo, ncfg, cfg.Length, cfg.Reps, cfg.Seed)
-			if err != nil {
-				return nil, fmt.Errorf("fig1 %s on %s: %w", algo.Name(), m.Name(), err)
+		for mi, m := range meshes {
+			var acc stats.Accumulator
+			base := (a*len(meshes) + mi) * cfg.Reps
+			for i := 0; i < cfg.Reps; i++ {
+				acc.Add(lats[base+i])
 			}
-			s.Points = append(s.Points, Point{X: float64(m.Nodes()), Y: st.Latency.Mean()})
+			s.Points = append(s.Points, Point{
+				X:  float64(m.Nodes()),
+				Y:  acc.Mean(),
+				CI: acc.Confidence95(),
+			})
 		}
 		fig.Series = append(fig.Series, s)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/broadcast"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 	"repro/internal/topology"
 )
 
@@ -43,6 +44,14 @@ type Fig2Config struct {
 	PerNodeInterarrival float64
 	// Seed drives source selection.
 	Seed uint64
+	// Procs caps the worker count; 0 means one worker per core. One
+	// contended study is a single shared-network simulation, so the
+	// unit of parallelism here is the (algorithm, mesh) cell, not
+	// the replication.
+	Procs int
+	// Progress, when non-nil, receives (done, total) completed-cell
+	// counts as the sweep advances. Calls are serialised.
+	Progress func(done, total int)
 }
 
 func (c *Fig2Config) setDefaults() {
@@ -70,35 +79,72 @@ func (c *Fig2Config) gapFor(nodes int) float64 {
 	return c.Interarrival
 }
 
-// Fig2 reproduces Fig. 2: the coefficient of variation of message
-// arrival times at the destination nodes, per algorithm, vs size.
-func Fig2(cfg Fig2Config) (*Figure, error) {
-	cfg.setDefaults()
+// study runs the contended CV study for one (algorithm, mesh) cell.
+func (c *Fig2Config) study(algo broadcast.Algorithm, dims []int) (*metrics.SingleSourceStats, error) {
+	m := topology.NewMesh(dims...)
+	st, err := metrics.ContendedCVStudy(m, algo, metrics.ContendedConfig{
+		Net:          baseConfig(c.Ts),
+		Length:       c.Length,
+		Broadcasts:   c.Reps,
+		Interarrival: c.gapFor(m.Nodes()),
+		Seed:         c.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", algo.Name(), m.Name(), err)
+	}
+	return st, nil
+}
+
+// studyGrid runs the full (algorithm, mesh) study grid once, cells
+// in parallel on the worker pool; cell (a, i) lands at index
+// a*len(Sizes)+i. Fig. 2 and Tables 1–2 are different projections of
+// this same grid, so callers wanting both should run it once (see
+// Fig2AndTables).
+func (c *Fig2Config) studyGrid() ([]broadcast.Algorithm, []*metrics.SingleSourceStats, error) {
+	algos := PaperAlgorithms()
+	cells := len(algos) * len(c.Sizes)
+	p := pool(c.Procs, cells, c.Progress)
+	grid, err := runner.Map(p, cells, func(k int) (*metrics.SingleSourceStats, error) {
+		return c.study(algos[k/len(c.Sizes)], c.Sizes[k%len(c.Sizes)])
+	})
+	return algos, grid, err
+}
+
+// fig2From assembles the Fig. 2 figure from a computed study grid.
+func (c *Fig2Config) fig2From(algos []broadcast.Algorithm, grid []*metrics.SingleSourceStats) *Figure {
 	fig := &Figure{
 		ID:     "Fig.2",
-		Title:  fmt.Sprintf("Coefficient of variation of arrival times vs network size (L=%d, Ts=%g µs)", cfg.Length, cfg.Ts),
+		Title:  fmt.Sprintf("Coefficient of variation of arrival times vs network size (L=%d, Ts=%g µs)", c.Length, c.Ts),
 		XLabel: "nodes",
 		YLabel: "CV",
 	}
-	for _, algo := range PaperAlgorithms() {
+	for a, algo := range algos {
 		s := Series{Label: algo.Name()}
-		for _, dims := range cfg.Sizes {
-			m := topology.NewMesh(dims...)
-			st, err := metrics.ContendedCVStudy(m, algo, metrics.ContendedConfig{
-				Net:          baseConfig(cfg.Ts),
-				Length:       cfg.Length,
-				Broadcasts:   cfg.Reps,
-				Interarrival: cfg.gapFor(m.Nodes()),
-				Seed:         cfg.Seed,
+		for i := range c.Sizes {
+			st := grid[a*len(c.Sizes)+i]
+			s.Points = append(s.Points, Point{
+				X:  float64(st.Nodes),
+				Y:  st.CV.Mean(),
+				CI: st.CV.Confidence95(),
 			})
-			if err != nil {
-				return nil, fmt.Errorf("fig2 %s on %s: %w", algo.Name(), m.Name(), err)
-			}
-			s.Points = append(s.Points, Point{X: float64(m.Nodes()), Y: st.CV.Mean()})
 		}
 		fig.Series = append(fig.Series, s)
 	}
-	return fig, nil
+	return fig
+}
+
+// Fig2 reproduces Fig. 2: the coefficient of variation of message
+// arrival times at the destination nodes, per algorithm, vs size.
+// The (algorithm, mesh) cells are independent simulations and run in
+// parallel on the worker pool; each point carries the 95% confidence
+// interval of the CV over the measured broadcasts.
+func Fig2(cfg Fig2Config) (*Figure, error) {
+	cfg.setDefaults()
+	algos, grid, err := cfg.studyGrid()
+	if err != nil {
+		return nil, fmt.Errorf("fig2 %w", err)
+	}
+	return cfg.fig2From(algos, grid), nil
 }
 
 // CVTable is one of the paper's Tables 1/2: per mesh size, the CV of
@@ -149,29 +195,15 @@ func (t *CVTable) Format() string {
 	return b.String()
 }
 
-// Tables reproduces Tables 1 and 2: CV of RD and EDN with the
-// improvement percentages of DB (Table 1) and AB (Table 2).
-func Tables(cfg Fig2Config) (*CVTable, *CVTable, error) {
-	cfg.setDefaults()
-	rd, edn, db, ab := broadcast.NewRD(), broadcast.NewEDN(), broadcast.NewDB(), broadcast.NewAB()
-
+// tablesFrom assembles Tables 1 and 2 from a computed study grid.
+func (c *Fig2Config) tablesFrom(algos []broadcast.Algorithm, grid []*metrics.SingleSourceStats) (*CVTable, *CVTable) {
 	t1 := &CVTable{ID: "Table 1", Proposed: "DB"}
 	t2 := &CVTable{ID: "Table 2", Proposed: "AB"}
-	for _, dims := range cfg.Sizes {
+	for i, dims := range c.Sizes {
 		m := topology.NewMesh(dims...)
 		stats := map[string]*metrics.SingleSourceStats{}
-		for _, algo := range []broadcast.Algorithm{rd, edn, db, ab} {
-			st, err := metrics.ContendedCVStudy(m, algo, metrics.ContendedConfig{
-				Net:          baseConfig(cfg.Ts),
-				Length:       cfg.Length,
-				Broadcasts:   cfg.Reps,
-				Interarrival: cfg.gapFor(m.Nodes()),
-				Seed:         cfg.Seed,
-			})
-			if err != nil {
-				return nil, nil, fmt.Errorf("tables %s on %s: %w", algo.Name(), m.Name(), err)
-			}
-			stats[algo.Name()] = st
+		for a, algo := range algos {
+			stats[algo.Name()] = grid[a*len(c.Sizes)+i]
 		}
 		t1.Columns = append(t1.Columns, CVColumn{
 			Mesh:       m.Name(),
@@ -186,5 +218,35 @@ func Tables(cfg Fig2Config) (*CVTable, *CVTable, error) {
 			Rows:       metrics.Improvements(stats["AB"], stats["RD"], stats["EDN"]),
 		})
 	}
+	return t1, t2
+}
+
+// Tables reproduces Tables 1 and 2: CV of RD and EDN with the
+// improvement percentages of DB (Table 1) and AB (Table 2). All
+// (algorithm, mesh) studies run in parallel on the worker pool; the
+// tables are assembled from the results in the paper's fixed order,
+// so output does not depend on scheduling.
+func Tables(cfg Fig2Config) (*CVTable, *CVTable, error) {
+	cfg.setDefaults()
+	algos, grid, err := cfg.studyGrid()
+	if err != nil {
+		return nil, nil, fmt.Errorf("tables %w", err)
+	}
+	t1, t2 := cfg.tablesFrom(algos, grid)
 	return t1, t2, nil
+}
+
+// Fig2AndTables computes the shared (algorithm, mesh) study grid ONCE
+// and projects it into Fig. 2 and Tables 1–2 — the contended studies
+// are among the most expensive artifacts, and running Fig2 and Tables
+// separately would simulate the identical grid twice. cmd/paperbench
+// uses this whenever both artifacts are selected.
+func Fig2AndTables(cfg Fig2Config) (*Figure, *CVTable, *CVTable, error) {
+	cfg.setDefaults()
+	algos, grid, err := cfg.studyGrid()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("fig2+tables %w", err)
+	}
+	t1, t2 := cfg.tablesFrom(algos, grid)
+	return cfg.fig2From(algos, grid), t1, t2, nil
 }

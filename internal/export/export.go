@@ -8,24 +8,35 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 
 	"repro/internal/experiments"
 )
 
-// FigureCSV writes fig as tidy CSV: figure,series,x,y.
+// FigureCSV writes fig as tidy CSV: figure,series,x,y,ci95_half,n.
+// ci95_half is the half-width of the point's 95% confidence interval
+// over replications and n the replication count behind it; both are
+// empty for single-shot points.
 func FigureCSV(w io.Writer, fig *experiments.Figure) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"figure", "series", fig.XLabel, fig.YLabel}); err != nil {
+	if err := cw.Write([]string{"figure", "series", fig.XLabel, fig.YLabel, "ci95_half", "n"}); err != nil {
 		return err
 	}
 	for _, s := range fig.Series {
 		for _, p := range s.Points {
+			ci, n := "", ""
+			if p.CI.N > 1 && !math.IsInf(p.CI.HalfWide, 0) {
+				ci = strconv.FormatFloat(p.CI.HalfWide, 'g', -1, 64)
+				n = strconv.Itoa(p.CI.N)
+			}
 			rec := []string{
 				fig.ID,
 				s.Label,
 				strconv.FormatFloat(p.X, 'g', -1, 64),
 				strconv.FormatFloat(p.Y, 'g', -1, 64),
+				ci,
+				n,
 			}
 			if err := cw.Write(rec); err != nil {
 				return err

@@ -37,6 +37,12 @@ type ContendedConfig struct {
 // sources with exponential inter-arrival times into one shared
 // network, and aggregates each broadcast's destination arrival-time
 // statistics.
+//
+// Unlike SingleSourceStudy, one study is a single discrete-event
+// simulation whose broadcasts interact through channel contention, so
+// it cannot be split across workers; callers parallelise at the next
+// level up, running whole (algorithm, mesh) studies as independent
+// runner jobs (see experiments.Fig2).
 func ContendedCVStudy(m *topology.Mesh, algo broadcast.Algorithm, cfg ContendedConfig) (*SingleSourceStats, error) {
 	if cfg.Broadcasts <= 0 {
 		return nil, fmt.Errorf("metrics: non-positive broadcast count %d", cfg.Broadcasts)

@@ -4,6 +4,12 @@
 // improvement tables. Replicated single-source studies average over
 // uniformly random sources, as the paper's experiments do ("different
 // source nodes have been chosen randomly … at least 40 experiments").
+//
+// Replications are independent simulations, so the study drivers fan
+// them out over a runner.Pool. Each replication draws its source from
+// sim.Substream(seed, rep) — a pure function of the replication index
+// — and results are aggregated in replication order, so a study's
+// output is bit-identical for any worker count.
 package metrics
 
 import (
@@ -11,6 +17,7 @@ import (
 
 	"repro/internal/broadcast"
 	"repro/internal/network"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -34,24 +41,51 @@ type SingleSourceStats struct {
 }
 
 // SingleSourceStudy runs reps single-source broadcasts from uniformly
-// random sources on an idle network and aggregates latency and CV.
+// random sources on an idle network and aggregates latency and CV. It
+// uses one worker per available core; use SingleSourceStudyOn to
+// bound or serialise execution. Output depends only on the arguments,
+// never on the worker count.
 func SingleSourceStudy(m *topology.Mesh, algo broadcast.Algorithm, cfg network.Config, length, reps int, seed uint64) (*SingleSourceStats, error) {
+	return SingleSourceStudyOn(runner.New(0), m, algo, cfg, length, reps, seed)
+}
+
+// singleRep is the per-replication sample of a single-source study.
+type singleRep struct {
+	latency, cv     float64
+	steps, messages int
+}
+
+// SingleSourceStudyOn is SingleSourceStudy on the caller's pool:
+// replication i draws its source from sim.Substream(seed, i) and runs
+// as an independent simulation on one of the pool's workers; samples
+// are folded into the accumulators in replication order.
+func SingleSourceStudyOn(p *runner.Pool, m *topology.Mesh, algo broadcast.Algorithm, cfg network.Config, length, reps int, seed uint64) (*SingleSourceStats, error) {
 	if reps <= 0 {
 		return nil, fmt.Errorf("metrics: non-positive replication count %d", reps)
 	}
-	rng := sim.NewRNG(seed, 23)
-	out := &SingleSourceStats{Algorithm: algo.Name(), Mesh: m.Name(), Nodes: m.Nodes()}
-	for i := 0; i < reps; i++ {
-		src := topology.NodeID(rng.Intn(m.Nodes()))
+	samples, err := runner.Map(p, reps, func(i int) (singleRep, error) {
+		src := topology.NodeID(sim.Substream(seed, uint64(i)).Intn(m.Nodes()))
 		r, err := broadcast.RunSingle(m, algo, src, cfg, length)
 		if err != nil {
-			return nil, err
+			return singleRep{}, err
 		}
-		out.Latency.Add(r.Latency())
-		out.CV.Add(stats.CVOf(r.DestinationLatencies()))
+		return singleRep{
+			latency:  r.Latency(),
+			cv:       stats.CVOf(r.DestinationLatencies()),
+			steps:    r.Plan.Steps,
+			messages: r.Plan.MessageCount(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &SingleSourceStats{Algorithm: algo.Name(), Mesh: m.Name(), Nodes: m.Nodes()}
+	for i, s := range samples {
+		out.Latency.Add(s.latency)
+		out.CV.Add(s.cv)
 		if i == 0 {
-			out.Steps = r.Plan.Steps
-			out.Messages = r.Plan.MessageCount()
+			out.Steps = s.steps
+			out.Messages = s.messages
 		}
 	}
 	return out, nil

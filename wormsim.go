@@ -29,6 +29,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -175,10 +176,46 @@ type (
 	MixedResult = traffic.MixedResult
 )
 
+// Parallel experiment orchestration.
+type (
+	// Pool is the deterministic worker pool experiments fan their
+	// replications out on; see internal/runner.
+	Pool = runner.Pool
+	// Progress is a concurrency-safe completed-of-total counter for
+	// live progress reporting.
+	Progress = runner.Progress
+)
+
+// NewPool returns a pool running at most procs jobs concurrently;
+// procs <= 0 means one worker per available core. Experiment output
+// never depends on the worker count.
+func NewPool(procs int) *Pool { return runner.New(procs) }
+
+// NewProgress returns a counter expecting total completions that
+// reports each one to fn (nil fn merely counts).
+func NewProgress(total int, fn func(done, total int)) *Progress {
+	return runner.NewProgress(total, fn)
+}
+
+// Substream returns the deterministic RNG for replication rep of the
+// experiment seeded with seed — a pure function of (seed, rep), so
+// any execution order (or worker count) reproduces the same stream.
+func Substream(seed, rep uint64) *RNG { return sim.Substream(seed, rep) }
+
+// RNG is the reproducible PCG generator driving all randomness.
+type RNG = sim.RNG
+
 // SingleSourceStudy runs reps uncontended broadcasts from random
-// sources and aggregates latency and arrival-time CV.
+// sources and aggregates latency and arrival-time CV, fanning the
+// replications out across all cores; use SingleSourceStudyOn to
+// bound the worker count. Output is identical either way.
 func SingleSourceStudy(m *Mesh, algo Algorithm, cfg Config, length, reps int, seed uint64) (*SingleSourceStats, error) {
 	return metrics.SingleSourceStudy(m, algo, cfg, length, reps, seed)
+}
+
+// SingleSourceStudyOn is SingleSourceStudy on the caller's pool.
+func SingleSourceStudyOn(p *Pool, m *Mesh, algo Algorithm, cfg Config, length, reps int, seed uint64) (*SingleSourceStats, error) {
+	return metrics.SingleSourceStudyOn(p, m, algo, cfg, length, reps, seed)
 }
 
 // ContendedCVStudy runs overlapping broadcasts from random sources on
@@ -219,6 +256,13 @@ func Fig2(cfg Fig2Config) (*Figure, error) { return experiments.Fig2(cfg) }
 
 // Tables reproduces Tables 1 and 2 (CV and improvement percentages).
 func Tables(cfg Fig2Config) (*CVTable, *CVTable, error) { return experiments.Tables(cfg) }
+
+// Fig2AndTables computes the shared (algorithm, mesh) study grid once
+// and projects it into Fig. 2 and Tables 1–2 — half the simulation
+// cost of calling Fig2 and Tables separately.
+func Fig2AndTables(cfg Fig2Config) (*Figure, *CVTable, *CVTable, error) {
+	return experiments.Fig2AndTables(cfg)
+}
 
 // Fig34 reproduces Fig. 3 (8×8×8) or Fig. 4 (16×16×8) mixed-traffic
 // latency curves, selected by cfg.Dims.
