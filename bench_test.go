@@ -94,6 +94,33 @@ func BenchmarkFig2CoefficientOfVariation(b *testing.B) {
 	}
 }
 
+// BenchmarkFig2Saturation is the perf-trajectory workload: the Fig. 2
+// study pushed past its knee (40 overlapping 64-flit broadcasts, 2 µs
+// mean inter-arrival) on the 8×8×8 mesh under all four algorithms.
+// Channel contention, wait-queue churn and worm turnover dominate, so
+// allocs/op and ns/op here are the numbers BENCH_*.json tracks across
+// PRs (see cmd/paperbench -benchjson). events/sec reports the raw
+// discrete-event kernel throughput through the same workload.
+func BenchmarkFig2Saturation(b *testing.B) {
+	m := wormsim.NewMesh(wormsim.SaturationDims()...)
+	for _, algo := range wormsim.Algorithms() {
+		b.Run(algo.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				st, err := wormsim.ContendedCVStudy(m, algo, wormsim.SaturationConfig(2005))
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = st.Events
+			}
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(events)*float64(b.N)/s, "events/sec")
+			}
+		})
+	}
+}
+
 // benchImprovement measures the paper's Tables 1/2 improvement metric
 // of a proposed algorithm over a baseline at one mesh size.
 func benchImprovement(b *testing.B, dims []int, proposed, baseline wormsim.Algorithm) {

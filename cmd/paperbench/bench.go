@@ -1,0 +1,212 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// Benchmark-emission path: paperbench -benchjson FILE runs the Fig. 2
+// saturation-load workload (see metrics.SaturationConfig) under all
+// four algorithms through testing.Benchmark and records ns/op,
+// allocs/op, B/op and events/sec into FILE, keyed by -benchphase.
+// Re-running with a different phase merges into the same file, so one
+// artifact carries the pre-PR baseline and the optimised numbers side
+// by side; when both are present a summary with the per-algorithm and
+// overall allocs/op reduction is recomputed. This is how the repo's
+// perf trajectory (BENCH_pr2.json, BENCH_pr3.json, …) is produced.
+
+// benchSchema identifies the artifact layout; bump on breaking change.
+const benchSchema = "wormsim-bench/v1"
+
+// benchResult is one (algorithm) measurement of the saturation workload.
+type benchResult struct {
+	// Name is the broadcast algorithm benchmarked.
+	Name string `json:"name"`
+	// Iterations is the b.N testing.Benchmark settled on.
+	Iterations int `json:"iterations"`
+	// NsPerOp is wall time per saturation study.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp are heap allocations per study.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// EventsPerOp is the number of discrete events one study fires.
+	EventsPerOp uint64 `json:"events_per_op"`
+	// EventsPerSec is kernel throughput: events fired per wall second.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// MeanCV is the scientific output (arrival-time CV), recorded so a
+	// perf regression that changes simulation results is caught at a
+	// glance.
+	MeanCV float64 `json:"mean_cv"`
+}
+
+// benchPhase is one measurement pass (e.g. "baseline", "optimized").
+type benchPhase struct {
+	Recorded  string        `json:"recorded"`
+	GoVersion string        `json:"go_version"`
+	Results   []benchResult `json:"results"`
+}
+
+// benchSummary compares the optimized phase against the baseline.
+type benchSummary struct {
+	// AllocsReductionPct is the overall percentage reduction in
+	// allocs/op (summed across algorithms), optimized vs baseline.
+	AllocsReductionPct float64 `json:"allocs_reduction_pct"`
+	// NsRatio is total optimized ns/op over total baseline ns/op;
+	// below 1 is a speedup.
+	NsRatio float64 `json:"ns_ratio"`
+	// PerAlgorithm maps algorithm name to its allocs/op reduction %.
+	PerAlgorithm map[string]float64 `json:"per_algorithm_allocs_reduction_pct"`
+}
+
+// benchFile is the whole BENCH_*.json artifact.
+type benchFile struct {
+	Schema   string `json:"schema"`
+	Workload struct {
+		Mesh         []int   `json:"mesh"`
+		Length       int     `json:"length_flits"`
+		Broadcasts   int     `json:"broadcasts"`
+		Interarrival float64 `json:"interarrival_us"`
+		Seed         uint64  `json:"seed"`
+	} `json:"workload"`
+	Phases  map[string]*benchPhase `json:"phases"`
+	Summary *benchSummary          `json:"summary,omitempty"`
+}
+
+// runBenchJSON executes the saturation benchmark and merges the
+// results into path under the given phase. benchtime is forwarded to
+// the testing package ("" keeps the 1s default; "1x" suits CI smoke).
+func runBenchJSON(path, phase, benchtime string) error {
+	if benchtime != "" {
+		testing.Init()
+		if err := flag.Set("test.benchtime", benchtime); err != nil {
+			return fmt.Errorf("paperbench: bad -benchtime %q: %v", benchtime, err)
+		}
+	}
+
+	file := &benchFile{Schema: benchSchema, Phases: map[string]*benchPhase{}}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, file); err != nil {
+			return fmt.Errorf("paperbench: %s exists but is not a bench artifact: %v", path, err)
+		}
+		if file.Schema != benchSchema {
+			return fmt.Errorf("paperbench: %s has schema %q, want %q", path, file.Schema, benchSchema)
+		}
+		if file.Phases == nil {
+			file.Phases = map[string]*benchPhase{}
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	seed := uint64(2005)
+	cfg := wormsim.SaturationConfig(seed)
+	var workload = file.Workload // zero value when the file is new
+	workload.Mesh = wormsim.SaturationDims()
+	workload.Length = cfg.Length
+	workload.Broadcasts = cfg.Broadcasts
+	workload.Interarrival = cfg.Interarrival
+	workload.Seed = seed
+	// Phases are only comparable when measured on the same workload:
+	// refuse to merge into an artifact recorded under different
+	// parameters rather than let summarize report a "speedup" that is
+	// really a workload change.
+	if len(file.Phases) > 0 {
+		old, _ := json.Marshal(file.Workload)
+		cur, _ := json.Marshal(workload)
+		if string(old) != string(cur) {
+			return fmt.Errorf("paperbench: %s was recorded on workload %s, current workload is %s; start a fresh artifact",
+				path, old, cur)
+		}
+	}
+	file.Workload = workload
+
+	m := wormsim.NewMesh(wormsim.SaturationDims()...)
+	p := &benchPhase{
+		Recorded:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+	}
+	for _, algo := range wormsim.Algorithms() {
+		var events uint64
+		var cv float64
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st, err := wormsim.ContendedCVStudy(m, algo, wormsim.SaturationConfig(seed))
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = st.Events
+				cv = st.CV.Mean()
+			}
+		})
+		if r.N == 0 {
+			return fmt.Errorf("paperbench: %s saturation benchmark did not run", algo.Name())
+		}
+		nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+		res := benchResult{
+			Name:        algo.Name(),
+			Iterations:  r.N,
+			NsPerOp:     nsPerOp,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			EventsPerOp: events,
+			MeanCV:      cv,
+		}
+		if nsPerOp > 0 {
+			res.EventsPerSec = float64(events) / (nsPerOp * 1e-9)
+		}
+		p.Results = append(p.Results, res)
+		fmt.Fprintf(os.Stderr, "bench %s/%s: %.0f ns/op  %d allocs/op  %.0f events/sec\n",
+			phase, res.Name, res.NsPerOp, res.AllocsPerOp, res.EventsPerSec)
+	}
+	file.Phases[phase] = p
+	file.Summary = summarize(file.Phases["baseline"], file.Phases["optimized"])
+
+	out, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// summarize compares the two canonical phases; nil when either is
+// missing (e.g. a CI smoke artifact with only a "ci" phase).
+func summarize(baseline, optimized *benchPhase) *benchSummary {
+	if baseline == nil || optimized == nil {
+		return nil
+	}
+	base := map[string]benchResult{}
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	s := &benchSummary{PerAlgorithm: map[string]float64{}}
+	var baseAllocs, optAllocs int64
+	var baseNs, optNs float64
+	for _, r := range optimized.Results {
+		b, ok := base[r.Name]
+		if !ok {
+			continue
+		}
+		baseAllocs += b.AllocsPerOp
+		optAllocs += r.AllocsPerOp
+		baseNs += b.NsPerOp
+		optNs += r.NsPerOp
+		if b.AllocsPerOp > 0 {
+			s.PerAlgorithm[r.Name] = 100 * float64(b.AllocsPerOp-r.AllocsPerOp) / float64(b.AllocsPerOp)
+		}
+	}
+	if baseAllocs > 0 {
+		s.AllocsReductionPct = 100 * float64(baseAllocs-optAllocs) / float64(baseAllocs)
+	}
+	if baseNs > 0 {
+		s.NsRatio = optNs / baseNs
+	}
+	return s
+}

@@ -38,8 +38,20 @@ func main() {
 		procs    = flag.Int("procs", 0, "max parallel replications (0 = all cores); output is identical for any value")
 		repsF    = flag.Int("reps", 0, "override replication count for the replicated figures (0 = default)")
 		progress = flag.Bool("progress", true, "report live progress on stderr")
+
+		benchJSON  = flag.String("benchjson", "", "run the saturation-load benchmark and merge results into this JSON artifact (skips the figures)")
+		benchPhase = flag.String("benchphase", "optimized", "phase label for -benchjson results (baseline, optimized, ci, ...)")
+		benchTime  = flag.String("benchtime", "", "benchmark duration per algorithm for -benchjson, as for go test (e.g. 1s, 5x); empty = testing default")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *benchPhase, *benchTime); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	writeCSV := func(name string, write func(f *os.File) error) {
 		if *csvDir == "" {
@@ -123,7 +135,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(fig)
-		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		// Timing goes to stderr: stdout must stay byte-identical
+		// across runs and -procs values for the determinism diff.
+		fmt.Fprintf(os.Stderr, "(%s regenerated in %v)\n", id, time.Since(start).Round(time.Millisecond))
 		writeCSV(id+".csv", func(f *os.File) error { return export.FigureCSV(f, fig) })
 	}
 
@@ -153,10 +167,9 @@ func main() {
 		}
 		elapsed := time.Since(start).Round(time.Millisecond)
 		fmt.Println(fig)
-		fmt.Printf("(fig2 regenerated in %v, study grid shared with tables)\n\n", elapsed)
 		fmt.Println(t1.Format())
 		fmt.Println(t2.Format())
-		fmt.Printf("(tables regenerated in %v, study grid shared with fig2)\n\n", elapsed)
+		fmt.Fprintf(os.Stderr, "(fig2+tables regenerated in %v, shared study grid)\n", elapsed)
 		writeCSV("fig2.csv", func(f *os.File) error { return export.FigureCSV(f, fig) })
 		writeCSV("table1.csv", func(f *os.File) error { return export.TableCSV(f, t1) })
 		writeCSV("table2.csv", func(f *os.File) error { return export.TableCSV(f, t2) })
@@ -178,7 +191,7 @@ func main() {
 		}
 		fmt.Println(t1.Format())
 		fmt.Println(t2.Format())
-		fmt.Printf("(tables regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "(tables regenerated in %v)\n", time.Since(start).Round(time.Millisecond))
 		writeCSV("table1.csv", func(f *os.File) error { return export.TableCSV(f, t1) })
 		writeCSV("table2.csv", func(f *os.File) error { return export.TableCSV(f, t2) })
 	}

@@ -2,7 +2,6 @@ package broadcast
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/network"
 	"repro/internal/routing"
@@ -82,37 +81,41 @@ func Execute(net *network.Network, plan *Plan, opt Options) (*Result, error) {
 		r.Arrival[i] = -1
 	}
 
-	// Group sends by source, ordered by step so the port FIFO
-	// serialises them in step order.
-	bySource := make(map[topology.NodeID][]Send)
-	for _, s := range plan.Sends {
-		bySource[s.Path.Source] = append(bySource[s.Path.Source], s)
-	}
-	for _, sends := range bySource {
-		sort.SliceStable(sends, func(i, j int) bool { return sends[i].Step < sends[j].Step })
-	}
+	// Sends grouped by source and ordered by step, so the port FIFO
+	// serialises them in step order. The grouping is precomputed on
+	// the plan and shared read-only across executions; a node triggers
+	// at most once per execution because deliver ignores duplicate
+	// arrivals and the source starts informed.
+	bySource := plan.sendIndex()
+
+	// One backing array holds the execution's transfers: in-flight
+	// worms reference entries until their tails drain, so the array
+	// lives exactly as long as the broadcast — one allocation instead
+	// of one per send.
+	transfers := make([]network.Transfer, len(plan.Sends))
+	nextTransfer := 0
 
 	var deliver func(node topology.NodeID, at sim.Time)
 	trigger := func(node topology.NodeID, at sim.Time) {
 		for _, s := range bySource[node] {
-			s := s
 			sel := routing.Selector(nil)
 			if s.Adaptive {
 				sel = opt.Adaptive
 			}
-			t := &network.Transfer{
+			t := &transfers[nextTransfer]
+			nextTransfer++
+			*t = network.Transfer{
 				Source:    node,
 				Waypoints: s.Path.Waypoints,
 				Length:    opt.Length,
 				Selector:  sel,
 				OnDeliver: deliver,
-				Tag:       fmt.Sprintf("%s/%s/step%d/src%d", opt.Tag, plan.Algorithm, s.Step, node),
+				Tag:       opt.Tag,
 			}
 			if err := net.Send(at, t); err != nil {
 				panic(fmt.Sprintf("broadcast: planned send rejected: %v", err))
 			}
 		}
-		delete(bySource, node) // each node triggers once
 	}
 
 	deliver = func(node topology.NodeID, at sim.Time) {

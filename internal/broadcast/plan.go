@@ -41,6 +41,53 @@ type Plan struct {
 	Steps int
 	// Sends lists every planned message, in no particular order.
 	Sends []Send
+
+	// bySource groups Sends by injecting node, each group sorted by
+	// step — the order the node's ports serialise them in. A plan is
+	// executed many times under contended and mixed workloads, so the
+	// grouping is computed once (in Validate, or lazily on first
+	// Execute) and shared read-only by every execution.
+	bySource map[topology.NodeID][]Send
+}
+
+// sendsBySourceStep stable-sorts sends by (source, step); within one
+// source this yields the same sequence as grouping in Sends order and
+// stable-sorting each group by step. A concrete sort.Interface keeps
+// reflect (and its per-sort Swapper allocation) out of the path.
+type sendsBySourceStep []Send
+
+func (s sendsBySourceStep) Len() int      { return len(s) }
+func (s sendsBySourceStep) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s sendsBySourceStep) Less(i, j int) bool {
+	if s[i].Path.Source != s[j].Path.Source {
+		return s[i].Path.Source < s[j].Path.Source
+	}
+	return s[i].Step < s[j].Step
+}
+
+// sendIndex returns the per-source step-sorted send grouping,
+// building it on first use: one sorted backing array, with the map
+// slicing windows out of it. Not safe for concurrent first call;
+// executions on one network are single-threaded by design, and
+// parallel replications build their own plans.
+func (p *Plan) sendIndex() map[topology.NodeID][]Send {
+	if p.bySource == nil {
+		sorted := make(sendsBySourceStep, len(p.Sends))
+		copy(sorted, p.Sends)
+		sort.Stable(sorted)
+		idx := make(map[topology.NodeID][]Send)
+		for lo := 0; lo < len(sorted); {
+			hi := lo + 1
+			src := sorted[lo].Path.Source
+			for hi < len(sorted) && sorted[hi].Path.Source == src {
+				hi++
+			}
+			idx[src] = sorted[lo:hi:hi]
+			lo = hi
+		}
+		p.bySource = idx
+	}
+	return p.bySource
 }
 
 // Algorithm plans broadcasts on a mesh.
@@ -97,6 +144,9 @@ func (p *Plan) Validate(m *topology.Mesh) error {
 			return fmt.Errorf("broadcast: %s plan from %d never covers node %d", p.Algorithm, p.Source, id)
 		}
 	}
+	// A validated plan is about to be executed, typically many times;
+	// build the execution index once while still outside any hot loop.
+	p.sendIndex()
 	return nil
 }
 

@@ -44,6 +44,9 @@ func ceilLog2(k int) int {
 // Plan implements Algorithm.
 func (rd RD) Plan(m *topology.Mesh, src topology.NodeID) (*Plan, error) {
 	p := &Plan{Algorithm: rd.Name(), Source: src, Steps: rd.StepsFor(m)}
+	// RD is pure unicast doubling: exactly one send informs each of
+	// the other N-1 nodes.
+	p.Sends = make([]Send, 0, m.Nodes()-1)
 
 	// informed tracks the coordinate sets already holding the
 	// message; dimension phases expand it one dimension at a time.
@@ -54,12 +57,11 @@ func (rd RD) Plan(m *topology.Mesh, src topology.NodeID) (*Plan, error) {
 		if rounds == 0 {
 			continue
 		}
-		var next []topology.NodeID
+		next := make([]topology.NodeID, 0, len(informed)*m.Dim(d))
 		for _, holder := range informed {
 			line := m.Line(holder, d)
 			pos := m.CoordAxis(holder, d)
-			covered := rd.halveLine(p, m, line, 0, len(line), pos, stepBase)
-			next = append(next, covered...)
+			next = rd.halveLine(p, line, 0, len(line), pos, stepBase, next)
 		}
 		informed = next
 		stepBase += rounds
@@ -68,11 +70,12 @@ func (rd RD) Plan(m *topology.Mesh, src topology.NodeID) (*Plan, error) {
 }
 
 // halveLine recursively plans the doubling on line[lo:hi] with the
-// holder at index pos, starting at step. It returns every line node
-// that ends up holding the message (the whole segment).
-func (rd RD) halveLine(p *Plan, m *topology.Mesh, line []topology.NodeID, lo, hi, pos, step int) []topology.NodeID {
+// holder at index pos, starting at step. It appends every line node
+// that ends up holding the message (the whole segment) to out — one
+// shared accumulator rather than a slice per recursion level.
+func (rd RD) halveLine(p *Plan, line []topology.NodeID, lo, hi, pos, step int, out []topology.NodeID) []topology.NodeID {
 	if hi-lo <= 1 {
-		return []topology.NodeID{line[pos]}
+		return append(out, line[pos])
 	}
 	mid := lo + (hi-lo+1)/2 // lower half is the ceil half
 	var peer int
@@ -91,13 +94,12 @@ func (rd RD) halveLine(p *Plan, m *topology.Mesh, line []topology.NodeID, lo, hi
 		Step: step,
 		Path: core.ChainPath(line[pos], line[peer]),
 	})
-	var out []topology.NodeID
 	if pos < mid {
-		out = append(out, rd.halveLine(p, m, line, lo, mid, pos, step+1)...)
-		out = append(out, rd.halveLine(p, m, line, mid, hi, peer, step+1)...)
+		out = rd.halveLine(p, line, lo, mid, pos, step+1, out)
+		out = rd.halveLine(p, line, mid, hi, peer, step+1, out)
 	} else {
-		out = append(out, rd.halveLine(p, m, line, mid, hi, pos, step+1)...)
-		out = append(out, rd.halveLine(p, m, line, lo, mid, peer, step+1)...)
+		out = rd.halveLine(p, line, mid, hi, pos, step+1, out)
+		out = rd.halveLine(p, line, lo, mid, peer, step+1, out)
 	}
 	return out
 }

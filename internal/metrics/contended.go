@@ -78,7 +78,7 @@ func ContendedCVStudy(m *topology.Mesh, algo broadcast.Algorithm, cfg ContendedC
 
 	plans := make(map[topology.NodeID]*broadcast.Plan)
 	at := sim.Time(0)
-	var results []*broadcast.Result
+	results := make([]*broadcast.Result, 0, cfg.Broadcasts)
 	for i := 0; i < cfg.Broadcasts; i++ {
 		at += rng.Exp(interarrival)
 		src := topology.NodeID(rng.Intn(m.Nodes()))
@@ -110,6 +110,8 @@ func ContendedCVStudy(m *topology.Mesh, algo broadcast.Algorithm, cfg ContendedC
 	}
 
 	s.Run()
+	out.Events = s.Fired()
+	out.SimulatedTime = s.Now()
 	for _, r := range results {
 		if !r.Done {
 			return nil, fmt.Errorf("metrics: %s broadcast stalled with %d/%d informed",

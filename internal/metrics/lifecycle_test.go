@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/broadcast"
+	"repro/internal/network"
+	"repro/internal/runner"
+	"repro/internal/topology"
+)
+
+// TestInterleavedStudiesNoStateBleed runs a grid of contended studies
+// twice — serially, then interleaved on one worker pool — and
+// requires bit-identical statistics. Every study exercises the full
+// pooled-object lifecycle (worm free lists, calendar records, ring
+// queues, plan send indexes), so any cross-run bleed through shared
+// or recycled state shows up as a numeric diff, and under -race (the
+// CI default) as a data race.
+func TestInterleavedStudiesNoStateBleed(t *testing.T) {
+	m := topology.NewMesh(4, 4, 4)
+	type job struct {
+		algo broadcast.Algorithm
+		seed uint64
+	}
+	var jobs []job
+	for _, algo := range []broadcast.Algorithm{
+		broadcast.NewRD(), broadcast.NewEDN(), broadcast.NewDB(), broadcast.NewAB(),
+	} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			jobs = append(jobs, job{algo, seed})
+		}
+	}
+	run := func(j job) *SingleSourceStats {
+		st, err := ContendedCVStudy(m, j.algo, ContendedConfig{
+			Net:          network.DefaultConfig(),
+			Length:       32,
+			Broadcasts:   12,
+			Interarrival: 3,
+			Seed:         j.seed,
+		})
+		if err != nil {
+			t.Errorf("%s seed %d: %v", j.algo.Name(), j.seed, err)
+			return nil
+		}
+		return st
+	}
+
+	serial := make([]*SingleSourceStats, len(jobs))
+	for i, j := range jobs {
+		serial[i] = run(j)
+	}
+	interleaved, err := runner.Map(runner.New(8), len(jobs), func(i int) (*SingleSourceStats, error) {
+		return run(jobs[i]), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, j := range jobs {
+		a, b := serial[i], interleaved[i]
+		if a == nil || b == nil {
+			continue // already reported
+		}
+		if a.CV.Mean() != b.CV.Mean() || a.Latency.Mean() != b.Latency.Mean() ||
+			a.Events != b.Events || a.SimulatedTime != b.SimulatedTime {
+			t.Errorf("%s seed %d: interleaved run differs from serial (cv %v vs %v, latency %v vs %v, events %d vs %d)",
+				j.algo.Name(), j.seed, a.CV.Mean(), b.CV.Mean(), a.Latency.Mean(), b.Latency.Mean(), a.Events, b.Events)
+		}
+	}
+}

@@ -38,6 +38,14 @@ type SingleSourceStats struct {
 	Steps int
 	// Messages is the worms injected per broadcast.
 	Messages int
+	// Events counts the discrete events the study's simulation fired
+	// (contended studies only — replicated single-source studies run
+	// many independent simulations). It is the numerator of the
+	// events/sec kernel-throughput metric the perf benchmarks track.
+	Events uint64
+	// SimulatedTime is the simulated clock at the end of the study
+	// (contended studies only).
+	SimulatedTime sim.Time
 }
 
 // SingleSourceStudy runs reps single-source broadcasts from uniformly

@@ -1,0 +1,28 @@
+package metrics
+
+import "repro/internal/network"
+
+// SaturationConfig returns the Fig. 2-style saturation-load workload
+// the performance trajectory is benchmarked on: 64-flit broadcasts
+// from random sources at a 2 µs mean inter-arrival — several
+// broadcasts deep in flight on the paper's 8×8×8 mesh, so channel
+// contention, wait-queue churn and worm turnover dominate, exactly
+// the regime the hot-path optimisations target. The paper's §3.2
+// replication count (40 experiments) is kept so one study is a
+// representative unit of work.
+//
+// bench_test.go (BenchmarkFig2Saturation) and cmd/paperbench
+// -benchjson both run this workload, so go-test benchmarks and the
+// emitted BENCH_*.json trajectory measure the same thing.
+func SaturationConfig(seed uint64) ContendedConfig {
+	return ContendedConfig{
+		Net:          network.DefaultConfig(),
+		Length:       64,
+		Broadcasts:   40,
+		Interarrival: 2,
+		Seed:         seed,
+	}
+}
+
+// SaturationDims is the mesh the saturation benchmark runs on.
+func SaturationDims() []int { return []int{8, 8, 8} }

@@ -102,6 +102,21 @@ type Network struct {
 	injected uint64
 	finished uint64
 
+	// Hot-path caches of the Config accessors: hopDelay()/ports()
+	// branch on every call, and the inner loops read them per hop.
+	hop    float64
+	beta   float64
+	nports int
+
+	// wormFree is the per-network worm pool; see getWorm/putWorm.
+	wormFree []*worm
+
+	// candScratch is the reusable next-hop candidate buffer advance
+	// hands to HopAppender selectors. Safe to share across worms: the
+	// network is single-threaded and each advance call fully consumes
+	// the candidates before anything else can route.
+	candScratch []topology.NodeID
+
 	// Occupancy accounting (see statistics.go).
 	busyTime  []sim.Time
 	busySince []sim.Time
@@ -110,12 +125,12 @@ type Network struct {
 
 type channelState struct {
 	holder *worm
-	queue  []*worm
+	queue  wormRing
 }
 
 type portState struct {
 	inUse int
-	queue []*worm
+	queue wormRing
 }
 
 // New builds a network over topo driven by s. For mesh topologies a
@@ -131,6 +146,9 @@ func New(s *sim.Simulator, topo topology.Topology, cfg Config) (*Network, error)
 		channels:  make([]channelState, topo.ChannelSlots()),
 		ports:     make([]portState, topo.Nodes()),
 		active:    make(map[*worm]bool),
+		hop:       cfg.hopDelay(),
+		beta:      cfg.Beta,
+		nports:    cfg.ports(),
 		busyTime:  make([]sim.Time, topo.ChannelSlots()),
 		busySince: make([]sim.Time, topo.ChannelSlots()),
 		acquires:  make([]uint64, topo.ChannelSlots()),

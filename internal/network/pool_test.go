@@ -1,0 +1,133 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// TestWaitQueuesBoundedUnderSustainedContention is the regression
+// test for the seed's FIFO retention bug: release()/grantPort()
+// drained waiters with queue = queue[1:], pinning every drained worm
+// in the backing array's dead head. After a long saturated run every
+// wait queue must be fully drained, hold no references to retired
+// worms, and sit at a capacity bounded by its high-water mark — not
+// by the total number of worms that ever queued.
+func TestWaitQueuesBoundedUnderSustainedContention(t *testing.T) {
+	s := sim.New()
+	m := topology.NewMesh(4, 1)
+	n := MustNew(s, m, DefaultConfig())
+	const waves, perWave = 60, 8
+	delivered := 0
+	at := sim.Time(0)
+	for wave := 0; wave < waves; wave++ {
+		// Each wave floods the line's shared channels from two
+		// sources at one instant, then the next wave starts after the
+		// backlog drains — sustained contention, bounded concurrency.
+		for i := 0; i < perWave; i++ {
+			for _, src := range []topology.NodeID{m.ID(0, 0), m.ID(1, 0)} {
+				n.MustSend(at, &Transfer{
+					Source:    src,
+					Waypoints: []topology.NodeID{m.ID(3, 0)},
+					Length:    40,
+					OnDeliver: func(_ topology.NodeID, _ sim.Time) { delivered++ },
+				})
+			}
+		}
+		at += 2 * perWave * (DefaultConfig().Ts + 40*0.003 + 1)
+	}
+	s.Run()
+	if want := waves * perWave * 2; delivered != want {
+		t.Fatalf("delivered %d/%d worms; stuck: %v", delivered, want, n.Stuck())
+	}
+	if n.InFlight() != 0 {
+		t.Fatalf("%d worms still in flight", n.InFlight())
+	}
+	checkRing := func(kind string, idx int, q *wormRing) {
+		t.Helper()
+		if q.Len() != 0 {
+			t.Errorf("%s %d queue not drained: %d left", kind, idx, q.Len())
+		}
+		for slot, w := range q.buf {
+			if w != nil {
+				t.Errorf("%s %d slot %d retains a drained worm", kind, idx, slot)
+			}
+		}
+		// perWave worms per source with two sources: no queue can
+		// ever hold more than one wave, so capacity must stay at the
+		// first wave's power-of-two high-water, not grow with the
+		// 60-wave total.
+		if q.Cap() > 2*perWave*2 {
+			t.Errorf("%s %d queue capacity %d outlived the high-water mark", kind, idx, q.Cap())
+		}
+	}
+	for i := range n.channels {
+		checkRing("channel", i, &n.channels[i].queue)
+	}
+	for i := range n.ports {
+		checkRing("port", i, &n.ports[i].queue)
+	}
+}
+
+// TestUnicastHotPathAllocationBudget pins the hot-path overhaul: once
+// the worm pool and calendar are warm, injecting and fully draining a
+// unicast worm performs no heap allocation at all — no closures, no
+// per-worm slices, no queue growth.
+func TestUnicastHotPathAllocationBudget(t *testing.T) {
+	s := sim.New()
+	m := topology.NewMesh(8, 8)
+	n := MustNew(s, m, DefaultConfig())
+	tr := &Transfer{
+		Source:    m.ID(0, 0),
+		Waypoints: []topology.NodeID{m.ID(7, 7)},
+		Length:    64,
+	}
+	for i := 0; i < 32; i++ { // warm pool, calendar and rings
+		n.MustSend(s.Now(), tr)
+		s.Run()
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		n.MustSend(s.Now(), tr)
+		s.Run()
+	})
+	if avg > 0 {
+		t.Errorf("warm unicast send+drain allocates %v per op, want 0", avg)
+	}
+	if n.InFlight() != 0 {
+		t.Fatalf("%d worms still in flight", n.InFlight())
+	}
+}
+
+// TestWormPoolRecyclesCleanly checks the pooled-object lifecycle at
+// the unit level: a recycled worm re-enters service with empty
+// per-hop state and no reference to its previous Transfer.
+func TestWormPoolRecyclesCleanly(t *testing.T) {
+	s := sim.New()
+	m := topology.NewMesh(4, 4)
+	n := MustNew(s, m, DefaultConfig())
+	n.MustSend(0, &Transfer{Source: m.ID(0, 0), Waypoints: []topology.NodeID{m.ID(3, 3)}, Length: 16})
+	s.Run()
+	if len(n.wormFree) != 1 {
+		t.Fatalf("pool holds %d worms, want 1", len(n.wormFree))
+	}
+	w := n.wormFree[0]
+	if w.t != nil || w.net != nil {
+		t.Error("recycled worm retains its transfer or network")
+	}
+	if len(w.path) != 0 || len(w.chans) != 0 || len(w.grants) != 0 || len(w.deliver) != 0 {
+		t.Error("recycled worm retains per-hop state")
+	}
+	if w.relCur != 0 || w.delCur != 0 {
+		t.Error("recycled worm retains drain cursors")
+	}
+	if cap(w.path) == 0 || cap(w.chans) == 0 {
+		t.Error("recycled worm lost its slice capacity")
+	}
+	// The next send must reuse the pooled worm, not allocate afresh.
+	n.MustSend(s.Now(), &Transfer{Source: m.ID(1, 1), Waypoints: []topology.NodeID{m.ID(2, 2)}, Length: 8})
+	if len(n.wormFree) != 0 {
+		t.Error("send did not take the pooled worm")
+	}
+	s.Run()
+}

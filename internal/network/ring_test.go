@@ -1,0 +1,76 @@
+package network
+
+import "testing"
+
+func TestRingFIFOAcrossWrap(t *testing.T) {
+	var r wormRing
+	worms := make([]*worm, 40)
+	for i := range worms {
+		worms[i] = &worm{}
+	}
+	// Push/pop in overlapping waves so the window wraps the buffer
+	// repeatedly.
+	next, out := 0, 0
+	for out < len(worms) {
+		for next < len(worms) && next-out < 5 {
+			r.Push(worms[next])
+			next++
+		}
+		if got := r.Pop(); got != worms[out] {
+			t.Fatalf("pop %d returned the wrong worm", out)
+		}
+		out++
+	}
+	if r.Len() != 0 {
+		t.Fatalf("ring not drained: %d left", r.Len())
+	}
+}
+
+// TestRingReleasesPoppedSlots pins the memory-retention fix: a popped
+// worm must not stay referenced by the ring's backing array, unlike
+// the seed's queue[1:] slices which pinned every popped entry in the
+// dead head until a lucky reallocation.
+func TestRingReleasesPoppedSlots(t *testing.T) {
+	var r wormRing
+	for i := 0; i < 20; i++ {
+		r.Push(&worm{})
+		r.Pop()
+	}
+	if r.Len() != 0 {
+		t.Fatalf("ring should be empty, has %d", r.Len())
+	}
+	for i, w := range r.buf {
+		if w != nil {
+			t.Fatalf("slot %d still references a popped worm", i)
+		}
+	}
+}
+
+// TestRingCapacityTracksHighWater: sustained traffic through a ring
+// leaves its storage at the (power-of-two rounded) high-water mark,
+// never growing with total throughput.
+func TestRingCapacityTracksHighWater(t *testing.T) {
+	var r wormRing
+	w := &worm{}
+	for wave := 0; wave < 1000; wave++ {
+		for i := 0; i < 11; i++ { // high water 11 -> capacity 16
+			r.Push(w)
+		}
+		for i := 0; i < 11; i++ {
+			r.Pop()
+		}
+	}
+	if r.Cap() != 16 {
+		t.Fatalf("capacity = %d after 1000 waves of 11, want 16", r.Cap())
+	}
+}
+
+func TestRingPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("pop from empty ring did not panic")
+		}
+	}()
+	var r wormRing
+	r.Pop()
+}

@@ -3,11 +3,20 @@ package network
 import (
 	"fmt"
 
+	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
 // worm is the runtime state of one in-flight transfer.
+//
+// Worms are pooled per network: a drained worm returns to the free
+// list with its per-hop slices' capacity intact, so the saturation
+// hot path recycles storage instead of re-growing it for every
+// message. All of a worm's calendar entries are (Func, worm) records
+// — the drain/deliver events consume their per-worm schedule through
+// the rel/del cursors in fire order, which the calendar's (due, seq)
+// ordering guarantees matches the order complete laid them out in.
 type worm struct {
 	net *Network
 	t   *Transfer
@@ -18,6 +27,8 @@ type worm struct {
 	grants  []sim.Time           // grant time per hop (channel i = path[i]->path[i+1])
 	chans   []topology.ChannelID // acquired channels in order
 	deliver []int                // hop index (1-based node position) per waypoint
+	relCur  int                  // next entry of chans to release (drain events)
+	delCur  int                  // next entry of deliver to fire (delivery events)
 	waiting topology.ChannelID   // channel whose queue the worm sits in, or -1
 	started sim.Time             // injection request time
 	portAt  sim.Time             // port grant time
@@ -26,6 +37,87 @@ type worm struct {
 func (w *worm) describe() string {
 	return fmt.Sprintf("worm %q src=%d cur=%d wp=%d/%d hops=%d waiting=%d",
 		w.t.Tag, w.t.Source, w.cur, w.wpIdx, len(w.t.Waypoints), len(w.chans), w.waiting)
+}
+
+// wormSliceCap pre-sizes a fresh worm's per-hop slices: deep enough
+// for a typical coded-path traversal of the paper's meshes, and a
+// pooled worm keeps whatever larger capacity it grew to.
+const wormSliceCap = 16
+
+// getWorm takes a worm off the free list, or builds one with
+// pre-sized slices when the pool is dry.
+func (n *Network) getWorm() *worm {
+	if k := len(n.wormFree); k > 0 {
+		w := n.wormFree[k-1]
+		n.wormFree[k-1] = nil
+		n.wormFree = n.wormFree[:k-1]
+		return w
+	}
+	return &worm{
+		path:    make([]topology.NodeID, 0, wormSliceCap),
+		grants:  make([]sim.Time, 0, wormSliceCap),
+		chans:   make([]topology.ChannelID, 0, wormSliceCap),
+		deliver: make([]int, 0, wormSliceCap),
+	}
+}
+
+// putWorm resets w (dropping its Transfer reference, keeping slice
+// capacity) and returns it to the free list. Only finishWorm may call
+// it: by then every calendar record referencing w has fired.
+func (n *Network) putWorm(w *worm) {
+	w.net = nil
+	w.t = nil
+	w.cur = 0
+	w.wpIdx = 0
+	w.path = w.path[:0]
+	w.grants = w.grants[:0]
+	w.chans = w.chans[:0]
+	w.deliver = w.deliver[:0]
+	w.relCur, w.delCur = 0, 0
+	w.waiting = topology.InvalidChannel
+	w.started, w.portAt = 0, 0
+	n.wormFree = append(n.wormFree, w)
+}
+
+// Prebuilt event bodies: the network schedules (func, worm) records,
+// never closures, so the per-hop scheduling path does not allocate.
+func requestPortEvent(arg any) { w := arg.(*worm); w.net.requestPort(w) }
+func advanceEvent(arg any)     { w := arg.(*worm); w.net.advance(w) }
+
+// releaseNextEvent frees the worm's next acquired channel in pipeline
+// order. complete schedules these at nondecreasing times in channel
+// order, so the cursor always names the channel this record meant.
+func releaseNextEvent(arg any) {
+	w := arg.(*worm)
+	i := w.relCur
+	w.relCur++
+	w.net.release(w.chans[i])
+}
+
+// deliverNextEvent fires the worm's next waypoint delivery; the event
+// fires at the scheduled (clamped) arrival time, so Now() is the
+// delivery timestamp.
+func deliverNextEvent(arg any) {
+	w := arg.(*worm)
+	i := w.delCur
+	w.delCur++
+	w.t.OnDeliver(w.t.Waypoints[i], w.net.sim.Now())
+}
+
+func releasePortEvent(arg any) { w := arg.(*worm); w.net.releasePort(w.t.Source) }
+
+// finishWorm retires the worm when its tail fully drains. It fires at
+// tdone with the largest sequence number of the worm's records, so
+// recycling here cannot race an unfired release/delivery.
+func finishWorm(arg any) {
+	w := arg.(*worm)
+	n := w.net
+	delete(n.active, w)
+	n.finished++
+	if w.t.OnDone != nil {
+		w.t.OnDone(n.sim.Now())
+	}
+	n.putWorm(w)
 }
 
 // Send validates t and schedules its injection at absolute time start.
@@ -51,17 +143,16 @@ func (n *Network) Send(start sim.Time, t *Transfer) error {
 	if t.Selector == nil && n.dor == nil {
 		return fmt.Errorf("network: transfer %q needs a selector on topology %s", t.Tag, n.topo.Name())
 	}
-	w := &worm{
-		net:     n,
-		t:       t,
-		cur:     t.Source,
-		path:    []topology.NodeID{t.Source},
-		waiting: topology.InvalidChannel,
-		started: start,
-	}
+	w := n.getWorm()
+	w.net = n
+	w.t = t
+	w.cur = t.Source
+	w.path = append(w.path, t.Source)
+	w.waiting = topology.InvalidChannel
+	w.started = start
 	n.injected++
 	n.active[w] = true
-	n.sim.At(start, func() { n.requestPort(w) })
+	n.sim.AtCall(start, requestPortEvent, w)
 	return nil
 }
 
@@ -76,29 +167,27 @@ func (n *Network) MustSend(start sim.Time, t *Transfer) {
 // for one.
 func (n *Network) requestPort(w *worm) {
 	p := &n.ports[w.t.Source]
-	if p.inUse < n.cfg.ports() {
+	if p.inUse < n.nports {
 		p.inUse++
 		n.grantPort(w)
 		return
 	}
-	p.queue = append(p.queue, w)
+	p.queue.Push(w)
 }
 
 // grantPort starts the startup latency; afterwards the header begins
 // to walk.
 func (n *Network) grantPort(w *worm) {
 	w.portAt = n.sim.Now()
-	n.sim.After(n.cfg.Ts, func() { n.advance(w) })
+	n.sim.AfterCall(n.cfg.Ts, advanceEvent, w)
 }
 
 // releasePort returns the source's injection port and admits the next
 // queued worm, if any.
 func (n *Network) releasePort(node topology.NodeID) {
 	p := &n.ports[node]
-	if len(p.queue) > 0 {
-		next := p.queue[0]
-		p.queue = p.queue[1:]
-		n.grantPort(next)
+	if p.queue.Len() > 0 {
+		n.grantPort(p.queue.Pop())
 		return
 	}
 	p.inUse--
@@ -108,9 +197,7 @@ func (n *Network) releasePort(node topology.NodeID) {
 }
 
 // selector returns the routing function for w.
-func (w *worm) selector() interface {
-	NextHops(cur, dst topology.NodeID) []topology.NodeID
-} {
+func (w *worm) selector() routing.Selector {
 	if w.t.Selector != nil {
 		return w.t.Selector
 	}
@@ -131,7 +218,17 @@ func (n *Network) advance(w *worm) {
 		return
 	}
 	dst := w.t.Waypoints[w.wpIdx]
-	cands := w.selector().NextHops(w.cur, dst)
+	// Route through the allocation-free append path when the selector
+	// offers it, reusing the network's scratch buffer; foreign
+	// selectors fall back to the slice-returning form.
+	sel := w.selector()
+	var cands []topology.NodeID
+	if ap, ok := sel.(routing.HopAppender); ok {
+		n.candScratch = ap.AppendNextHops(n.candScratch[:0], w.cur, dst)
+		cands = n.candScratch
+	} else {
+		cands = sel.NextHops(w.cur, dst)
+	}
 	if len(cands) == 0 {
 		panic(fmt.Sprintf("network: no route from %d to %d for %s", w.cur, dst, w.describe()))
 	}
@@ -152,7 +249,7 @@ func (n *Network) advance(w *worm) {
 		// All candidates busy: wait FIFO on the most preferred one.
 		ch := n.topo.Channel(w.cur, cands[0])
 		w.waiting = ch
-		n.channels[ch].queue = append(n.channels[ch].queue, w)
+		n.channels[ch].queue.Push(w)
 		return
 	}
 	n.acquire(w, pick, pickCh)
@@ -172,7 +269,7 @@ func (n *Network) acquire(w *worm, next topology.NodeID, ch topology.ChannelID) 
 	w.chans = append(w.chans, ch)
 	w.path = append(w.path, next)
 	w.cur = next
-	n.sim.After(n.cfg.hopDelay(), func() { n.advance(w) })
+	n.sim.AfterCall(n.hop, advanceEvent, w)
 }
 
 // release frees channel ch and grants it to the head of its queue.
@@ -187,9 +284,8 @@ func (n *Network) release(ch topology.ChannelID) {
 	// empties: an adaptive worm at the head may grab a different free
 	// channel when re-routed, and the waiters behind it must not be
 	// stranded on a free channel.
-	for st.holder == nil && len(st.queue) > 0 {
-		next := st.queue[0]
-		st.queue = st.queue[1:]
+	for st.holder == nil && st.queue.Len() > 0 {
+		next := st.queue.Pop()
 		if next.waiting != ch {
 			panic("network: queued worm not waiting on this channel")
 		}
@@ -203,7 +299,8 @@ func (n *Network) release(ch topology.ChannelID) {
 // deliveries fire in pipeline order behind the tail.
 func (n *Network) complete(w *worm) {
 	now := n.sim.Now()
-	drain := float64(w.t.Length) * n.cfg.Beta
+	beta := n.beta
+	drain := float64(w.t.Length) * beta
 	tdone := now + drain
 	hops := len(w.chans)
 
@@ -211,41 +308,34 @@ func (n *Network) complete(w *worm) {
 	// channel is granted the body streams freely, one flit per Beta
 	// per channel, and nothing drained earlier because wormhole
 	// back-pressure held all flits in place while the header stalled.
-	for i, ch := range w.chans {
-		at := tdone - float64(hops-1-i)*n.cfg.Beta
+	// Times are nondecreasing in i, so the cursor-driven records fire
+	// against chans in order.
+	for i := range w.chans {
+		at := tdone - float64(hops-1-i)*beta
 		if at < now {
 			at = now
 		}
-		ch := ch
-		n.sim.At(at, func() { n.release(ch) })
+		n.sim.AtCall(at, releaseNextEvent, w)
 	}
 
 	// A waypoint reached after hop h receives its tail when channel
 	// h-1 finishes, i.e. at tdone - (hops-h)*Beta.
 	if w.t.OnDeliver != nil {
-		for i, h := range w.deliver {
-			node := w.t.Waypoints[i]
-			at := tdone - float64(hops-h)*n.cfg.Beta
+		for _, h := range w.deliver {
+			at := tdone - float64(hops-h)*beta
 			if at < now {
 				at = now
 			}
-			deliverAt := at
-			n.sim.At(deliverAt, func() { w.t.OnDeliver(node, deliverAt) })
+			n.sim.AtCall(at, deliverNextEvent, w)
 		}
 	}
 
 	// The tail leaves the source when it enters the first channel.
-	portFree := tdone - float64(hops-1)*n.cfg.Beta
+	portFree := tdone - float64(hops-1)*beta
 	if portFree < now {
 		portFree = now
 	}
-	n.sim.At(portFree, func() { n.releasePort(w.t.Source) })
+	n.sim.AtCall(portFree, releasePortEvent, w)
 
-	n.sim.At(tdone, func() {
-		delete(n.active, w)
-		n.finished++
-		if w.t.OnDone != nil {
-			w.t.OnDone(tdone)
-		}
-	})
+	n.sim.AtCall(tdone, finishWorm, w)
 }

@@ -22,6 +22,17 @@ type Selector interface {
 	NextHops(cur, dst topology.NodeID) []topology.NodeID
 }
 
+// HopAppender is the allocation-free fast path of a Selector: the
+// candidates are appended to a caller-provided buffer instead of a
+// fresh slice. The network's header-advance loop asks for this
+// interface and reuses one scratch buffer per network, so routing a
+// hop costs no allocation; NextHops remains the simple portable form
+// (and is equivalent to AppendNextHops(nil, …)). All selectors in
+// this package implement it.
+type HopAppender interface {
+	AppendNextHops(buf []topology.NodeID, cur, dst topology.NodeID) []topology.NodeID
+}
+
 // Path expands a selector into a concrete path from src to dst by
 // always taking the first candidate. The returned path includes both
 // endpoints. It panics if the selector stalls or wanders, which would
@@ -80,6 +91,11 @@ func (r *DOR) Name() string { return "dor" }
 // first out-of-place dimension in the configured order. On a torus
 // the shorter modular direction is taken (ties go positive).
 func (r *DOR) NextHops(cur, dst topology.NodeID) []topology.NodeID {
+	return r.AppendNextHops(nil, cur, dst)
+}
+
+// AppendNextHops implements HopAppender.
+func (r *DOR) AppendNextHops(buf []topology.NodeID, cur, dst topology.NodeID) []topology.NodeID {
 	for _, d := range r.order {
 		cc := r.m.CoordAxis(cur, d)
 		dc := r.m.CoordAxis(dst, d)
@@ -99,20 +115,7 @@ func (r *DOR) NextHops(cur, dst topology.NodeID) []topology.NodeID {
 				step = -1
 			}
 		}
-		return []topology.NodeID{r.step(cur, d, step)}
+		return append(buf, r.m.Step(cur, d, step))
 	}
-	return nil
-}
-
-// step returns cur moved one hop along dimension d, wrapping on a
-// torus.
-func (r *DOR) step(cur topology.NodeID, d, delta int) topology.NodeID {
-	coord := make([]int, r.m.NDims())
-	r.m.CoordInto(cur, coord)
-	k := r.m.Dim(d)
-	coord[d] += delta
-	if r.m.Wrap() && k >= 3 {
-		coord[d] = (coord[d] + k) % k
-	}
-	return r.m.ID(coord...)
+	return buf
 }

@@ -2,7 +2,6 @@ package routing
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/topology"
 )
@@ -42,55 +41,56 @@ func (r *WestFirst) Name() string { return "west-first" }
 // north/south adaptively (largest remaining offset preferred); then
 // the remaining dimensions in order.
 func (r *WestFirst) NextHops(cur, dst topology.NodeID) []topology.NodeID {
+	return r.AppendNextHops(nil, cur, dst)
+}
+
+// AppendNextHops implements HopAppender. Phase 2 offers at most two
+// candidates (east and one vertical), so the "largest remaining
+// offset first, stable on ties" preference of the original sort is a
+// single comparison with east winning ties.
+func (r *WestFirst) AppendNextHops(buf []topology.NodeID, cur, dst topology.NodeID) []topology.NodeID {
 	// Phase 1: all west hops.
 	cx, dx := r.m.CoordAxis(cur, 0), r.m.CoordAxis(dst, 0)
 	if dx < cx {
-		return []topology.NodeID{r.step(cur, 0, -1)}
+		return append(buf, r.m.Step(cur, 0, -1))
 	}
 	// Phase 2: adaptive among east and the second dimension.
-	type cand struct {
-		node   topology.NodeID
-		offset int
-	}
-	var pool []cand
+	var east, vert topology.NodeID
+	eastOff, vertOff := 0, 0
 	if dx > cx {
-		pool = append(pool, cand{r.step(cur, 0, +1), dx - cx})
+		east, eastOff = r.m.Step(cur, 0, +1), dx-cx
 	}
 	if r.m.NDims() >= 2 {
 		cy, dy := r.m.CoordAxis(cur, 1), r.m.CoordAxis(dst, 1)
 		switch {
 		case dy > cy:
-			pool = append(pool, cand{r.step(cur, 1, +1), dy - cy})
+			vert, vertOff = r.m.Step(cur, 1, +1), dy-cy
 		case dy < cy:
-			pool = append(pool, cand{r.step(cur, 1, -1), cy - dy})
+			vert, vertOff = r.m.Step(cur, 1, -1), cy-dy
 		}
 	}
-	if len(pool) > 0 {
-		sort.SliceStable(pool, func(i, j int) bool { return pool[i].offset > pool[j].offset })
-		out := make([]topology.NodeID, len(pool))
-		for i, c := range pool {
-			out[i] = c.node
+	switch {
+	case eastOff > 0 && vertOff > 0:
+		if vertOff > eastOff {
+			return append(buf, vert, east)
 		}
-		return out
+		return append(buf, east, vert)
+	case eastOff > 0:
+		return append(buf, east)
+	case vertOff > 0:
+		return append(buf, vert)
 	}
 	// Phase 3: remaining dimensions, dimension-ordered.
 	for d := 2; d < r.m.NDims(); d++ {
 		cc, dc := r.m.CoordAxis(cur, d), r.m.CoordAxis(dst, d)
 		switch {
 		case dc > cc:
-			return []topology.NodeID{r.step(cur, d, +1)}
+			return append(buf, r.m.Step(cur, d, +1))
 		case dc < cc:
-			return []topology.NodeID{r.step(cur, d, -1)}
+			return append(buf, r.m.Step(cur, d, -1))
 		}
 	}
-	return nil
-}
-
-func (r *WestFirst) step(cur topology.NodeID, d, delta int) topology.NodeID {
-	coord := make([]int, r.m.NDims())
-	r.m.CoordInto(cur, coord)
-	coord[d] += delta
-	return r.m.ID(coord...)
+	return buf
 }
 
 // SegmentLegal reports whether a worm travelling from a to b and then
@@ -144,6 +144,11 @@ func (r *OddEven) Name() string { return "odd-even" }
 
 // NextHops implements Selector.
 func (r *OddEven) NextHops(cur, dst topology.NodeID) []topology.NodeID {
+	return r.AppendNextHops(nil, cur, dst)
+}
+
+// AppendNextHops implements HopAppender.
+func (r *OddEven) AppendNextHops(buf []topology.NodeID, cur, dst topology.NodeID) []topology.NodeID {
 	// Correct dimensions >= 2 first (dimension-ordered).
 	for d := r.m.NDims() - 1; d >= 2; d-- {
 		cc, dc := r.m.CoordAxis(cur, d), r.m.CoordAxis(dst, d)
@@ -154,17 +159,17 @@ func (r *OddEven) NextHops(cur, dst topology.NodeID) []topology.NodeID {
 		if dc < cc {
 			delta = -1
 		}
-		return []topology.NodeID{r.step(cur, d, delta)}
+		return append(buf, r.m.Step(cur, d, delta))
 	}
 
 	cx, cy := r.m.CoordAxis(cur, 0), r.m.CoordAxis(cur, 1)
 	dx, dy := r.m.CoordAxis(dst, 0), r.m.CoordAxis(dst, 1)
 	ex, ey := dx-cx, dy-cy
-	var out []topology.NodeID
 	if ex == 0 && ey == 0 {
-		return nil
+		return buf
 	}
 
+	n := len(buf)
 	if ex > 0 {
 		// Heading east. EN/ES turns are forbidden at even columns, so
 		// vertical moves are offered only at odd columns, and a packet
@@ -172,44 +177,40 @@ func (r *OddEven) NextHops(cur, dst topology.NodeID) []topology.NodeID {
 		// even destination column (it could never legally turn there).
 		mustTurnHere := ey != 0 && cx+1 == dx && dx%2 == 0
 		if !mustTurnHere {
-			out = append(out, r.step(cur, 0, +1))
+			buf = append(buf, r.m.Step(cur, 0, +1))
 		}
 		if ey != 0 && cx%2 == 1 {
-			out = append(out, r.vstep(cur, ey))
+			buf = append(buf, r.vstep(cur, ey))
 		}
 	} else if ex < 0 {
 		// Heading west: NW/SW turns are forbidden at odd columns, so
 		// go vertical only at even columns; west moves always allowed.
 		if ey != 0 && cx%2 == 0 {
-			out = append(out, r.vstep(cur, ey))
+			buf = append(buf, r.vstep(cur, ey))
 		}
-		out = append(out, r.step(cur, 0, -1))
+		buf = append(buf, r.m.Step(cur, 0, -1))
 	} else {
 		// Aligned in x: finish the column.
-		out = append(out, r.vstep(cur, ey))
+		buf = append(buf, r.vstep(cur, ey))
 	}
-	if len(out) == 0 {
+	if len(buf) == n {
 		panic(fmt.Sprintf("routing: odd-even stalled at %d toward %d", cur, dst))
 	}
-	return out
+	return buf
 }
 
 func (r *OddEven) vstep(cur topology.NodeID, ey int) topology.NodeID {
 	if ey > 0 {
-		return r.step(cur, 1, +1)
+		return r.m.Step(cur, 1, +1)
 	}
-	return r.step(cur, 1, -1)
-}
-
-func (r *OddEven) step(cur topology.NodeID, d, delta int) topology.NodeID {
-	coord := make([]int, r.m.NDims())
-	r.m.CoordInto(cur, coord)
-	coord[d] += delta
-	return r.m.ID(coord...)
+	return r.m.Step(cur, 1, -1)
 }
 
 var (
-	_ Selector = (*DOR)(nil)
-	_ Selector = (*WestFirst)(nil)
-	_ Selector = (*OddEven)(nil)
+	_ Selector    = (*DOR)(nil)
+	_ Selector    = (*WestFirst)(nil)
+	_ Selector    = (*OddEven)(nil)
+	_ HopAppender = (*DOR)(nil)
+	_ HopAppender = (*WestFirst)(nil)
+	_ HopAppender = (*OddEven)(nil)
 )

@@ -15,12 +15,23 @@ type Time = float64
 // clock set to the event's due time.
 type Action func()
 
-// event is a calendar entry. seq breaks ties between events due at the
-// same instant so execution order is deterministic.
+// Func is an event body that receives its state explicitly. Hot paths
+// schedule a prebuilt (Func, arg) record instead of closing over their
+// state: a Func plus an arg already in hand costs no allocation per
+// event, where a closure costs one. arg is typically a pointer (the
+// worm, the injector) so boxing it into the interface is free too.
+type Func func(arg any)
+
+// event is a calendar entry: an action record (fn, arg) due at a
+// time. seq breaks ties between events due at the same instant so
+// execution order is deterministic. Entries are stored by value in
+// the calendar's backing array, which is reused as the heap grows and
+// shrinks — the calendar itself allocates only on capacity growth.
 type event struct {
-	due    Time
-	seq    uint64
-	action Action
+	due Time
+	seq uint64
+	fn  Func
+	arg any
 }
 
 // eventQueue is a binary min-heap ordered by (due, seq).
@@ -52,9 +63,13 @@ func (q *eventQueue) push(e event) {
 }
 
 func (q *eventQueue) pop() event {
+	if len(q.items) == 0 {
+		panic("sim: pop from empty calendar")
+	}
 	top := q.items[0]
 	last := len(q.items) - 1
 	q.items[0] = q.items[last]
+	q.items[last] = event{} // release the record's arg reference
 	q.items = q.items[:last]
 	q.siftDown(0)
 	return top
@@ -80,5 +95,9 @@ func (q *eventQueue) siftDown(i int) {
 }
 
 // peek returns the earliest event without removing it.
-// It must not be called on an empty queue.
-func (q *eventQueue) peek() event { return q.items[0] }
+func (q *eventQueue) peek() event {
+	if len(q.items) == 0 {
+		panic("sim: peek at empty calendar")
+	}
+	return q.items[0]
+}

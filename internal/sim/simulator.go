@@ -19,6 +19,7 @@ type Simulator struct {
 	nextSeq uint64
 	fired   uint64
 	limit   uint64 // safety valve; 0 means no limit
+	stopped bool
 }
 
 // New returns an empty simulator with the clock at zero.
@@ -37,20 +38,19 @@ func (s *Simulator) Fired() uint64 { return s.fired }
 // feedback loops in experimental workloads.
 func (s *Simulator) SetEventLimit(n uint64) { s.limit = n }
 
+// runClosure adapts the closure-based At/After API onto the record
+// calendar. An Action is a single pointer, so boxing it into the
+// record's arg is allocation-free; only the closure the caller built
+// costs an allocation.
+func runClosure(arg any) { arg.(Action)() }
+
 // At schedules action to run at absolute time t. Scheduling in the
 // past panics: it is always a logic error in a discrete-event model.
 func (s *Simulator) At(t Time, action Action) {
 	if action == nil {
 		panic("sim: nil action scheduled")
 	}
-	if t < s.now {
-		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
-	}
-	if math.IsNaN(t) {
-		panic("sim: scheduling at NaN")
-	}
-	s.queue.push(event{due: t, seq: s.nextSeq, action: action})
-	s.nextSeq++
+	s.AtCall(t, runClosure, action)
 }
 
 // After schedules action to run delay time units from now.
@@ -61,23 +61,63 @@ func (s *Simulator) After(delay Time, action Action) {
 	s.At(s.now+delay, action)
 }
 
+// AtCall schedules the action record (fn, arg) to run at absolute
+// time t. This is the allocation-free scheduling path hot loops use:
+// fn is a prebuilt function (not a closure) and arg carries its
+// state, typically a pointer into the caller's pooled objects.
+func (s *Simulator) AtCall(t Time, fn Func, arg any) {
+	if fn == nil {
+		panic("sim: nil event function scheduled")
+	}
+	if s.stopped {
+		panic("sim: schedule after Stop")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	if math.IsNaN(t) {
+		panic("sim: scheduling at NaN")
+	}
+	s.queue.push(event{due: t, seq: s.nextSeq, fn: fn, arg: arg})
+	s.nextSeq++
+}
+
+// AfterCall schedules the action record (fn, arg) to run delay time
+// units from now.
+func (s *Simulator) AfterCall(delay Time, fn Func, arg any) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	s.AtCall(s.now+delay, fn, arg)
+}
+
 // Pending reports the number of events waiting on the calendar.
 func (s *Simulator) Pending() int { return s.queue.Len() }
+
+// Stop ends the simulation: the running Run/RunUntil loop exits after
+// the current event returns, and any further scheduling panics with a
+// descriptive message — an event firing after an experiment tore its
+// state down is always a logic error, and the panic names it instead
+// of corrupting the next run. Stop is idempotent.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (s *Simulator) Stopped() bool { return s.stopped }
 
 // Step executes the earliest pending event, advancing the clock to its
 // due time. It reports whether an event was executed.
 func (s *Simulator) Step() bool {
-	if s.queue.Len() == 0 {
+	if s.stopped || s.queue.Len() == 0 {
 		return false
 	}
 	e := s.queue.pop()
 	s.now = e.due
 	s.fired++
-	e.action()
+	e.fn(e.arg)
 	return true
 }
 
-// Run executes events until the calendar is empty.
+// Run executes events until the calendar is empty or Stop is called.
 func (s *Simulator) Run() {
 	for s.Step() {
 		if s.limit > 0 && s.fired >= s.limit {
@@ -90,7 +130,7 @@ func (s *Simulator) Run() {
 // horizon if the calendar still holds later events, or at the last
 // executed event otherwise, in which case ErrStalled is returned.
 func (s *Simulator) RunUntil(horizon Time) error {
-	for s.queue.Len() > 0 && s.queue.peek().due <= horizon {
+	for !s.stopped && s.queue.Len() > 0 && s.queue.peek().due <= horizon {
 		s.Step()
 		if s.limit > 0 && s.fired >= s.limit {
 			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", s.limit, s.now))
@@ -99,6 +139,8 @@ func (s *Simulator) RunUntil(horizon Time) error {
 	if s.queue.Len() == 0 {
 		return ErrStalled
 	}
-	s.now = horizon
+	if !s.stopped {
+		s.now = horizon
+	}
 	return nil
 }

@@ -154,6 +154,112 @@ func TestFiredCounts(t *testing.T) {
 	}
 }
 
+// mustPanicWith runs f and asserts it panics with exactly msg — the
+// kernel's misuse panics are part of its contract, so the text is
+// pinned, not just the fact of panicking.
+func mustPanicWith(t *testing.T, msg string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Errorf("no panic, want %q", msg)
+			return
+		}
+		if got, ok := r.(string); !ok || got != msg {
+			t.Errorf("panic = %v, want %q", r, msg)
+		}
+	}()
+	f()
+}
+
+func TestEmptyPopPanicsDescriptively(t *testing.T) {
+	var q eventQueue
+	mustPanicWith(t, "sim: pop from empty calendar", func() { q.pop() })
+	mustPanicWith(t, "sim: peek at empty calendar", func() { q.peek() })
+}
+
+func TestScheduleAfterStopPanics(t *testing.T) {
+	s := New()
+	s.At(1, func() {})
+	s.At(2, func() { t.Error("event fired after Stop") })
+	s.At(1, s.Stop)
+	s.Run()
+	if !s.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want the post-stop event retained", s.Pending())
+	}
+	mustPanicWith(t, "sim: schedule after Stop", func() { s.At(3, func() {}) })
+	mustPanicWith(t, "sim: schedule after Stop", func() { s.AtCall(3, runClosure, Action(func() {})) })
+}
+
+func TestStopHaltsRunUntil(t *testing.T) {
+	s := New()
+	fired := 0
+	s.At(1, func() { fired++; s.Stop() })
+	s.At(2, func() { fired++ })
+	if err := s.RunUntil(10); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if s.Now() != 1 {
+		t.Fatalf("clock = %v, want 1 (not advanced to horizon after Stop)", s.Now())
+	}
+}
+
+// TestAtCallRecordsFireInOrder exercises the allocation-free record
+// path: prebuilt (Func, arg) pairs fire with the right argument, in
+// (due, seq) order, interleaved with closure events.
+func TestAtCallRecordsFireInOrder(t *testing.T) {
+	s := New()
+	var order []int
+	record := func(arg any) { order = append(order, arg.(int)) }
+	s.AtCall(2, record, 2)
+	s.At(1, func() { order = append(order, 1) })
+	s.AtCall(2, record, 3) // same instant: scheduling order wins
+	s.AfterCall(4, record, 4)
+	s.Run()
+	want := []int{1, 2, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	mustPanicWith(t, "sim: nil event function scheduled", func() { New().AtCall(1, nil, nil) })
+}
+
+// TestScheduleIsAllocationFree pins the kernel contract the network
+// hot path relies on: scheduling a prebuilt record costs zero
+// allocations once the calendar's backing array is warm.
+func TestScheduleIsAllocationFree(t *testing.T) {
+	s := New()
+	noop := func(any) {}
+	// Warm the calendar capacity.
+	for i := 0; i < 64; i++ {
+		s.AtCall(1, noop, nil)
+	}
+	s.Run()
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			s.AtCall(Time(1), noop, s)
+		}
+		for s.Step() {
+		}
+	})
+	if avg != 0 {
+		t.Errorf("AtCall allocates %v per 32-event batch, want 0", avg)
+	}
+}
+
 // TestHeapProperty feeds random times through the queue and verifies
 // events always pop in nondecreasing time order.
 func TestHeapProperty(t *testing.T) {

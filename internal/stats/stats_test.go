@@ -96,17 +96,42 @@ func TestImprovement(t *testing.T) {
 }
 
 func TestTCritical95(t *testing.T) {
-	if got := TCritical95(1); got != 12.706 {
-		t.Errorf("t(1) = %v", got)
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706},
+		{30, 2.042},
+		// Bucketed standard values beyond the exact table: the seed
+		// returned 1.960 for every df > 30, understating the paper's
+		// 40-replication intervals (df=39). Between rows the
+		// next-lower tabled df applies (conservative).
+		{31, 2.042},
+		{39, 2.042},
+		{40, 2.021},
+		{59, 2.021},
+		{60, 2.000},
+		{119, 2.000},
+		{120, 1.980},
+		{121, 1.96},
+		{1000, 1.96},
 	}
-	if got := TCritical95(30); got != 2.042 {
-		t.Errorf("t(30) = %v", got)
-	}
-	if got := TCritical95(1000); got != 1.96 {
-		t.Errorf("t(1000) = %v", got)
+	for _, c := range cases {
+		if got := TCritical95(c.df); got != c.want {
+			t.Errorf("t(%d) = %v, want %v", c.df, got, c.want)
+		}
 	}
 	if !math.IsInf(TCritical95(0), 1) {
 		t.Error("t(0) not infinite")
+	}
+	// The critical value must never increase with more evidence.
+	prev := math.Inf(1)
+	for df := 1; df <= 200; df++ {
+		v := TCritical95(df)
+		if v > prev {
+			t.Fatalf("t(%d) = %v > t(%d) = %v: not monotone", df, v, df-1, prev)
+		}
+		prev = v
 	}
 }
 

@@ -191,6 +191,23 @@ func (m *Mesh) CoordAxis(id NodeID, d int) int {
 // not modify it.
 func (m *Mesh) Adjacent(id NodeID) []NodeID { return m.adj[id] }
 
+// Step returns the node one hop from id along dimension d in
+// direction delta (±1), wrapping on a torus with at least three
+// nodes in that dimension. Unlike Coord/ID round-trips it does not
+// allocate, which matters to routing functions on the simulation's
+// innermost loop. It panics if the move leaves the mesh.
+func (m *Mesh) Step(id NodeID, d, delta int) NodeID {
+	c := (int(id) / m.strides[d]) % m.dims[d]
+	nc := c + delta
+	if m.wrap && m.dims[d] >= 3 {
+		nc = (nc + m.dims[d]) % m.dims[d]
+	}
+	if nc < 0 || nc >= m.dims[d] {
+		panic(fmt.Sprintf("topology: step %+d leaves dim %d of %s from node %d", delta, d, m.Name(), id))
+	}
+	return id + NodeID((nc-c)*m.strides[d])
+}
+
 // ChannelSlots returns the size of the channel ID space:
 // nodes × dims × 2 directions. Edge slots without a physical link are
 // never returned by Channel.

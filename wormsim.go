@@ -224,6 +224,14 @@ func ContendedCVStudy(m *Mesh, algo Algorithm, cfg ContendedConfig) (*SingleSour
 	return metrics.ContendedCVStudy(m, algo, cfg)
 }
 
+// SaturationConfig returns the Fig. 2-style saturation workload the
+// performance benchmarks (BenchmarkFig2Saturation and paperbench
+// -benchjson) track the simulator's perf trajectory on.
+func SaturationConfig(seed uint64) ContendedConfig { return metrics.SaturationConfig(seed) }
+
+// SaturationDims is the mesh the saturation benchmark runs on.
+func SaturationDims() []int { return metrics.SaturationDims() }
+
 // RunMixed executes the §3.3 mixed unicast/broadcast workload.
 func RunMixed(m *Mesh, cfg MixedConfig) (*MixedResult, error) {
 	return traffic.RunMixed(m, cfg)
