@@ -6,6 +6,10 @@
 //	paperbench -only fig1 # one artifact: fig1, fig1b, fig2, tables, fig3, fig4
 //	paperbench -procs 8   # fan replications out over 8 workers
 //
+// Every artifact is a registered scenario (internal/scenario) looked
+// up by name; this command only sequences them in the paper's order
+// and renders the results.
+//
 // Replications run in parallel on -procs workers (default: all
 // cores). Output is bit-identical for any -procs value and a fixed
 // -seed: per-replication randomness is derived from (seed,
@@ -15,16 +19,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
 
-	"repro"
-	"repro/internal/experiments"
 	"repro/internal/export"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -52,6 +57,9 @@ func main() {
 		}
 		return
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	writeCSV := func(name string, write func(f *os.File) error) {
 		if *csvDir == "" {
@@ -115,7 +123,7 @@ func main() {
 		}
 	}
 	// clearProgress erases a partially drawn progress line so error
-	// messages start on a clean line (a failed driver never reaches
+	// messages start on a clean line (a failed scenario never reaches
 	// done == total).
 	clearProgress := func() {
 		if progressOn {
@@ -123,90 +131,97 @@ func main() {
 		}
 	}
 
-	run := func(id string, fn func() (*experiments.Figure, error)) {
-		if !selected(id) {
-			return
+	// run executes the named registry scenario with the shared CLI
+	// overrides plus any extra options, exiting on failure.
+	run := func(name, label string, extra ...scenario.Option) *scenario.Result {
+		opts := append([]scenario.Option{
+			scenario.WithSeed(*seed),
+			scenario.WithProcs(*procs),
+			scenario.WithProgress(reporter(label)),
+		}, extra...)
+		spec, err := scenario.Build(name, opts...)
+		if err == nil {
+			var res *scenario.Result
+			res, err = scenario.Run(ctx, spec)
+			if err == nil {
+				return res
+			}
 		}
-		start := time.Now()
-		fig, err := fn()
-		if err != nil {
-			clearProgress()
-			fmt.Fprintf(os.Stderr, "paperbench: %s failed: %v\n", id, err)
-			os.Exit(1)
+		clearProgress()
+		fmt.Fprintf(os.Stderr, "paperbench: %s failed: %v\n", label, err)
+		os.Exit(1)
+		return nil
+	}
+	// timed prints one artifact's regeneration time on stderr: stdout
+	// must stay byte-identical across runs and -procs values for the
+	// determinism diff.
+	timed := func(label string, start time.Time, notes ...string) {
+		suffix := ""
+		if len(notes) > 0 {
+			suffix = ", " + strings.Join(notes, ", ")
 		}
-		fmt.Println(fig)
-		// Timing goes to stderr: stdout must stay byte-identical
-		// across runs and -procs values for the determinism diff.
-		fmt.Fprintf(os.Stderr, "(%s regenerated in %v)\n", id, time.Since(start).Round(time.Millisecond))
-		writeCSV(id+".csv", func(f *os.File) error { return export.FigureCSV(f, fig) })
+		fmt.Fprintf(os.Stderr, "(%s regenerated in %v%s)\n", label, time.Since(start).Round(time.Millisecond), suffix)
 	}
 
-	run("fig1", func() (*experiments.Figure, error) {
-		return wormsim.Fig1(wormsim.Fig1Config{
-			Reps: reps, Seed: *seed, Procs: *procs, Progress: reporter("fig1"),
-		})
-	})
-	run("fig1b", func() (*experiments.Figure, error) {
-		return wormsim.Fig1StartupLatency(wormsim.Fig1Config{
-			Reps: reps, Seed: *seed, Procs: *procs, Progress: reporter("fig1b"),
-		})
-	})
-	// Fig. 2 and Tables 1–2 are projections of the same (algorithm,
-	// mesh) study grid — when both are selected, compute the grid
-	// once via Fig2AndTables instead of simulating it twice.
-	switch {
-	case selected("fig2") && selected("tables"):
+	if selected("fig1") {
 		start := time.Now()
-		fig, t1, t2, err := wormsim.Fig2AndTables(wormsim.Fig2Config{
-			Reps: reps, Seed: *seed, Procs: *procs, Progress: reporter("fig2+tables"),
-		})
-		if err != nil {
-			clearProgress()
-			fmt.Fprintf(os.Stderr, "paperbench: fig2+tables failed: %v\n", err)
-			os.Exit(1)
-		}
-		elapsed := time.Since(start).Round(time.Millisecond)
-		fmt.Println(fig)
-		fmt.Println(t1.Format())
-		fmt.Println(t2.Format())
-		fmt.Fprintf(os.Stderr, "(fig2+tables regenerated in %v, shared study grid)\n", elapsed)
-		writeCSV("fig2.csv", func(f *os.File) error { return export.FigureCSV(f, fig) })
-		writeCSV("table1.csv", func(f *os.File) error { return export.TableCSV(f, t1) })
-		writeCSV("table2.csv", func(f *os.File) error { return export.TableCSV(f, t2) })
-	case selected("fig2"):
-		run("fig2", func() (*experiments.Figure, error) {
-			return wormsim.Fig2(wormsim.Fig2Config{
-				Reps: reps, Seed: *seed, Procs: *procs, Progress: reporter("fig2"),
-			})
-		})
-	case selected("tables"):
-		start := time.Now()
-		t1, t2, err := wormsim.Tables(wormsim.Fig2Config{
-			Reps: reps, Seed: *seed, Procs: *procs, Progress: reporter("tables"),
-		})
-		if err != nil {
-			clearProgress()
-			fmt.Fprintf(os.Stderr, "paperbench: tables failed: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Println(t1.Format())
-		fmt.Println(t2.Format())
-		fmt.Fprintf(os.Stderr, "(tables regenerated in %v)\n", time.Since(start).Round(time.Millisecond))
-		writeCSV("table1.csv", func(f *os.File) error { return export.TableCSV(f, t1) })
-		writeCSV("table2.csv", func(f *os.File) error { return export.TableCSV(f, t2) })
+		res := run("fig1", "fig1", scenario.WithReps(reps))
+		fmt.Println(res.Figure)
+		timed("fig1", start)
+		writeCSV("fig1.csv", func(f *os.File) error { return export.FigureCSV(f, res.Figure) })
 	}
-	run("fig3", func() (*experiments.Figure, error) {
-		return wormsim.Fig34(wormsim.Fig34Config{
-			Dims: []int{8, 8, 8}, Batches: batches, BatchSize: batchSize, Warmup: 1,
-			Seed: *seed, Procs: *procs, Progress: reporter("fig3"),
-		})
-	})
-	run("fig4", func() (*experiments.Figure, error) {
-		return wormsim.Fig34(wormsim.Fig34Config{
-			Dims: []int{16, 16, 8}, Batches: batches, BatchSize: batchSize, Warmup: 1,
-			Seed: *seed, Procs: *procs, Progress: reporter("fig4"),
-		})
-	})
+	if selected("fig1b") {
+		start := time.Now()
+		res := run("fig1b", "fig1b", scenario.WithReps(reps))
+		fmt.Println(res.Figure)
+		timed("fig1b", start)
+		writeCSV("fig1b.csv", func(f *os.File) error { return export.FigureCSV(f, res.Figure) })
+	}
+	// Fig. 2 and Tables 1–2 are projections of the same (algorithm,
+	// mesh) study grid — the scenario computes the grid once and its
+	// result carries all three artifacts, so any combination of
+	// selections costs one run.
+	if selected("fig2") || selected("tables") {
+		label := "fig2+tables"
+		switch {
+		case !selected("tables"):
+			label = "fig2"
+		case !selected("fig2"):
+			label = "tables"
+		}
+		start := time.Now()
+		res := run("fig2", label, scenario.WithReps(reps))
+		elapsed := time.Since(start)
+		if selected("fig2") {
+			fmt.Println(res.Figure)
+		}
+		if selected("tables") {
+			fmt.Println(res.Table1.Format())
+			fmt.Println(res.Table2.Format())
+		}
+		if label == "fig2+tables" {
+			fmt.Fprintf(os.Stderr, "(fig2+tables regenerated in %v, shared study grid)\n", elapsed.Round(time.Millisecond))
+		} else {
+			timed(label, start)
+		}
+		if selected("fig2") {
+			writeCSV("fig2.csv", func(f *os.File) error { return export.FigureCSV(f, res.Figure) })
+		}
+		if selected("tables") {
+			writeCSV("table1.csv", func(f *os.File) error { return export.TableCSV(f, res.Table1) })
+			writeCSV("table2.csv", func(f *os.File) error { return export.TableCSV(f, res.Table2) })
+		}
+	}
+	for _, name := range []string{"fig3", "fig4"} {
+		if !selected(name) {
+			continue
+		}
+		start := time.Now()
+		res := run(name, name, scenario.WithBatches(batches, batchSize, 1))
+		fmt.Println(res.Figure)
+		timed(name, start)
+		writeCSV(name+".csv", func(f *os.File) error { return export.FigureCSV(f, res.Figure) })
+	}
 }
 
 // stderrIsTerminal reports whether stderr is attached to a terminal

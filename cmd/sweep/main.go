@@ -1,39 +1,70 @@
-// Command sweep runs parameter sweeps and ablations, writing tidy CSV
-// to stdout or a file for downstream plotting.
+// Command sweep runs any registered scenario by name, writing tidy
+// CSV to stdout or a file for downstream plotting.
 //
+//	sweep -what list                          # available scenarios
 //	sweep -what fig1 > fig1.csv
 //	sweep -what ablation-length -mesh 8x8x8 -o length.csv
+//	sweep -what fig2-torus -seed 7
 //
-// Available sweeps: fig1, fig1b, fig2, fig3, fig4, table1, table2,
-// ablation-length, ablation-hop, ablation-substrate, ablation-ports.
+// The scenario names come from the process-wide registry
+// (internal/scenario); registering a new scenario makes it runnable
+// here with no changes to this command.
 //
 // Replications run in parallel on -procs workers (default: all
 // cores); output is bit-identical for any -procs value at a fixed
-// -seed.
+// -seed. Interrupting the run (Ctrl-C) stops dispatching new
+// simulations and exits cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
-	"repro/internal/experiments"
 	"repro/internal/export"
+	"repro/internal/scenario"
 )
 
 func main() {
 	var (
-		what     = flag.String("what", "fig1", "which sweep to run")
-		meshSpec = flag.String("mesh", "", "mesh override for ablations, e.g. 8x8x8")
-		reps     = flag.Int("reps", 0, "replication override (0 = experiment default)")
+		what     = flag.String("what", "fig1", "which scenario to run, or 'list' for all names")
+		meshSpec = flag.String("mesh", "", "topology override, e.g. 8x8x8 (collapses size sweeps to one shape)")
+		reps     = flag.Int("reps", 0, "replication override (0 = scenario default)")
 		seed     = flag.Uint64("seed", 2005, "random seed")
 		out      = flag.String("o", "", "output file (default stdout)")
 		procs    = flag.Int("procs", 0, "max parallel replications (0 = all cores); output is identical for any value")
 	)
 	flag.Parse()
+
+	name := strings.ToLower(*what)
+	if name == "list" {
+		for _, line := range scenario.Summaries() {
+			fmt.Println(line)
+		}
+		return
+	}
+
+	opts := []scenario.Option{
+		scenario.WithReps(*reps),
+		scenario.WithSeed(*seed),
+		scenario.WithProcs(*procs),
+	}
+	if *meshSpec != "" {
+		dims, err := parseDims(*meshSpec)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, scenario.WithMesh(dims...))
+	}
+	spec, err := scenario.Build(name, opts...)
+	if err != nil {
+		fatal(fmt.Errorf("%w\nrun 'sweep -what list' for summaries", err))
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -49,60 +80,14 @@ func main() {
 		w = f
 	}
 
-	dims, err := parseDims(*meshSpec)
-	if err != nil {
-		fatal(err)
-	}
-	abl := experiments.AblationConfig{Dims: dims, Reps: *reps, Seed: *seed, Procs: *procs}
-
-	var fig *experiments.Figure
-	switch strings.ToLower(*what) {
-	case "fig1":
-		fig, err = experiments.Fig1(experiments.Fig1Config{Reps: *reps, Seed: *seed, Procs: *procs})
-	case "fig1b":
-		fig, err = experiments.Fig1StartupLatency(experiments.Fig1Config{Reps: *reps, Seed: *seed, Procs: *procs})
-	case "fig2":
-		fig, err = experiments.Fig2(experiments.Fig2Config{Reps: *reps, Seed: *seed, Procs: *procs})
-	case "fig3":
-		fig, err = experiments.Fig34(experiments.Fig34Config{Dims: []int{8, 8, 8}, Seed: *seed, Procs: *procs})
-	case "fig4":
-		fig, err = experiments.Fig34(experiments.Fig34Config{Dims: []int{16, 16, 8}, Seed: *seed, Procs: *procs})
-	case "table1", "table2":
-		t1, t2, terr := experiments.Tables(experiments.Fig2Config{Reps: *reps, Seed: *seed, Procs: *procs})
-		if terr != nil {
-			fatal(terr)
-		}
-		tbl := t1
-		if strings.ToLower(*what) == "table2" {
-			tbl = t2
-		}
-		if err := export.TableCSV(w, tbl); err != nil {
-			fatal(err)
-		}
-		return
-	case "ablation-length":
-		fig, err = experiments.AblationMessageLength(abl)
-	case "ablation-hop":
-		fig, err = experiments.AblationHopDelay(abl)
-	case "ablation-substrate":
-		fig, err = experiments.AblationAdaptiveSubstrate(abl)
-	case "ablation-ports":
-		fig, err = experiments.AblationPortModel(abl)
-	default:
-		fatal(fmt.Errorf("unknown sweep %q", *what))
-	}
-	if err != nil {
-		fatal(err)
-	}
-	if err := export.FigureCSV(w, fig); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if _, err := scenario.RunTo(ctx, spec, export.NewCSVSink(w)); err != nil {
 		fatal(err)
 	}
 }
 
 func parseDims(spec string) ([]int, error) {
-	if spec == "" {
-		return nil, nil
-	}
 	parts := strings.Split(strings.ToLower(spec), "x")
 	dims := make([]int, 0, len(parts))
 	for _, p := range parts {

@@ -1,19 +1,22 @@
 // Customtopology: the paper's §4 closes by suggesting broadcast
 // support for other interconnects, "such as the k-ary n-cube and
-// generalised hypercube". This example exercises both through the
-// public API:
+// generalised hypercube". This example exercises both:
 //
-//   - Recursive Doubling runs unchanged on a torus (its line-halving
-//     schedule only needs mesh coordinates); wormhole switching is
-//     distance-insensitive, so the torus's shorter routes barely move
-//     the latency — the point the paper makes about CPR.
-//   - On a generalised hypercube we drive the network layer with a
-//     dimension-ordered spanning broadcast: every row along every
-//     dimension is a clique, so one multidestination worm covers a
-//     whole row per step.
+//   - RD and EDN run unchanged on a torus (their schedules only need
+//     mesh coordinates), so the mesh-vs-torus comparison is two
+//     declarative scenario runs — WithTopology("torus") is the whole
+//     migration. Wormhole switching is distance-insensitive, so the
+//     torus's shorter routes barely move the latency — the point the
+//     paper makes about CPR.
+//   - The generalised hypercube has no registered planner yet, so it
+//     drives the low-level network API with a dimension-ordered
+//     spanning broadcast: every row along every dimension is a
+//     clique, so one multidestination worm covers a whole row per
+//     step. This is the layer new scenarios build on.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,17 +28,20 @@ const lengthFlits = 64
 func main() {
 	cfg := wormsim.DefaultConfig()
 
-	fmt.Println("Recursive Doubling on mesh vs torus (L=64 flits, corner source):")
-	for _, mesh := range []*wormsim.Mesh{
-		wormsim.NewMesh(8, 8, 8),
-		wormsim.NewTorus(8, 8, 8),
-	} {
-		r, err := wormsim.RunBroadcast(mesh, wormsim.NewRD(), 0, cfg, lengthFlits)
+	fmt.Println("Broadcast latency, mesh vs torus (L=64 flits, 6 random sources):")
+	for _, kind := range []string{"mesh", "torus"} {
+		res, err := wormsim.RunScenario(context.Background(), "fig1",
+			wormsim.WithTopology(kind),
+			wormsim.WithMesh(8, 8, 8),
+			wormsim.WithAlgorithms("RD", "EDN"), // the planners that accept a torus
+			wormsim.WithLength(lengthFlits),
+			wormsim.WithReps(6), wormsim.WithSeed(11))
 		if err != nil {
-			log.Fatalf("RD on %s: %v", mesh.Name(), err)
+			log.Fatalf("%s: %v", kind, err)
 		}
-		fmt.Printf("  %-12s latency %7.3f µs over %d steps\n",
-			mesh.Name(), r.Latency(), r.Plan.Steps)
+		for _, s := range res.Figure.Series {
+			fmt.Printf("  %-5s %-12s latency %7.3f µs\n", s.Label, kind+" 8x8x8", s.Points[0].Y)
+		}
 	}
 
 	latency, cv, steps := hypercubeBroadcast(cfg)

@@ -1,52 +1,37 @@
 // Scalability: the paper's headline experiment (Fig. 1) driven
-// through the public API — single-source broadcast latency of RD,
+// through the scenario API — single-source broadcast latency of RD,
 // EDN, DB and AB as the 3D mesh grows from 64 to 4096 nodes, averaged
 // over randomly chosen sources, at both of the paper's startup
 // latencies (§3.1).
+//
+// Migration note: this example used to loop over meshes and call
+// wormsim.SingleSourceStudy per (algorithm, size) cell. The registry
+// expresses the whole sweep as one named scenario, fans every
+// replication out over all cores, and renders the paper's layout.
 package main
 
 import (
-	"fmt"
+	"context"
 	"log"
+	"os"
 
 	"repro"
 )
 
 func main() {
-	sizes := [][]int{{4, 4, 4}, {8, 8, 8}, {10, 10, 10}, {16, 16, 16}}
-	const (
-		lengthFlits = 100
-		reps        = 10
-		seed        = 7
-	)
-
-	for _, ts := range []float64{1.5, 0.15} {
-		cfg := wormsim.DefaultConfig()
-		cfg.Ts = ts
-		fmt.Printf("Broadcast latency vs network size (L=%d flits, Ts=%g µs, %d random sources)\n",
-			lengthFlits, ts, reps)
-		fmt.Printf("%-14s", "nodes")
-		for _, algo := range wormsim.Algorithms() {
-			fmt.Printf("%10s", algo.Name())
+	sink := wormsim.NewTextSink(os.Stdout)
+	for _, name := range []string{"fig1", "fig1b"} {
+		// WithReps(10) trades the paper's 40 replications for speed;
+		// drop the option to reproduce the full artifact.
+		if _, err := wormsim.RunScenarioTo(context.Background(), name,
+			[]wormsim.ScenarioSink{sink},
+			wormsim.WithReps(10), wormsim.WithSeed(7)); err != nil {
+			log.Fatal(err)
 		}
-		fmt.Println()
-
-		for _, dims := range sizes {
-			mesh := wormsim.NewMesh(dims...)
-			fmt.Printf("%-14d", mesh.Nodes())
-			for _, algo := range wormsim.Algorithms() {
-				st, err := wormsim.SingleSourceStudy(mesh, algo, cfg, lengthFlits, reps, seed)
-				if err != nil {
-					log.Fatalf("%s on %s: %v", algo.Name(), mesh.Name(), err)
-				}
-				fmt.Printf("%10.3f", st.Latency.Mean())
-			}
-			fmt.Println()
-		}
-		fmt.Println()
 	}
 
-	fmt.Println("Lowering Ts compresses every curve, but RD and EDN keep their")
-	fmt.Println("step-count slope while DB and AB remain size-independent — the")
-	fmt.Println("paper's §3.1 observation.")
+	os.Stdout.WriteString(
+		"Lowering Ts (Fig.1b) compresses every curve, but RD and EDN keep\n" +
+			"their step-count slope while DB and AB remain size-independent —\n" +
+			"the paper's §3.1 observation.\n")
 }

@@ -1,22 +1,16 @@
 package experiments
 
 import (
-	"fmt"
+	"context"
 
-	"repro/internal/broadcast"
-	"repro/internal/network"
-	"repro/internal/routing"
-	"repro/internal/runner"
-	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/topology"
+	"repro/internal/scenario"
 )
 
 // Ablation drivers for the design choices DESIGN.md calls out. They
 // are not paper artifacts; they quantify how much each modelling
-// decision matters. Like the figure drivers, every ablation fans its
-// replications out over a runner.Pool with sim.Substream randomness,
-// so results are bit-identical for any Procs value.
+// decision matters. All four are registered scenarios now
+// ("ablation-length", "ablation-hop", "ablation-substrate",
+// "ablation-ports"); these wrappers only translate the legacy config.
 
 // AblationConfig parameterises the ablation sweeps.
 type AblationConfig struct {
@@ -36,180 +30,62 @@ type AblationConfig struct {
 	Progress func(done, total int)
 }
 
-func (c *AblationConfig) setDefaults() {
-	if c.Dims == nil {
-		c.Dims = []int{8, 8, 8}
-	}
-	if c.Length == 0 {
-		c.Length = 100
-	}
-	if c.Reps == 0 {
-		c.Reps = 10
-	}
-}
-
-// source returns the replication's broadcast source, a pure function
-// of (Seed, rep) so any execution order reproduces it.
-func (c *AblationConfig) source(m *topology.Mesh, rep int) topology.NodeID {
-	return topology.NodeID(sim.Substream(c.Seed, uint64(rep)).Intn(m.Nodes()))
-}
-
-// cellSweep runs the common grid ablation: every (algorithm, x) cell
-// of the sweep replicated Reps times, with the FULL algos×xs×reps
-// index space submitted to the pool as one Map so parallelism is
-// never capped by a single cell's replication count. run executes one
-// replication of cell (algo, xs[xi]) with the given source and
-// returns its latency; cells aggregate to mean + 95% CI in
-// replication order.
-func (c *AblationConfig) cellSweep(fig *Figure, m *topology.Mesh, xs []float64,
-	run func(algo broadcast.Algorithm, xi int, src topology.NodeID) (float64, error)) error {
-	algos := PaperAlgorithms()
-	jobs := len(algos) * len(xs) * c.Reps
-	p := pool(c.Procs, jobs, c.Progress)
-	lats, err := runner.Map(p, jobs, func(k int) (float64, error) {
-		algo := algos[k/(len(xs)*c.Reps)]
-		xi := (k / c.Reps) % len(xs)
-		return run(algo, xi, c.source(m, k%c.Reps))
-	})
+// run builds the registered ablation scenario with the legacy
+// overrides applied and executes it.
+func (c AblationConfig) run(name string) (*Figure, error) {
+	spec, err := scenario.Build(name,
+		scenario.WithReps(c.Reps),
+		scenario.WithSeed(c.Seed),
+		scenario.WithProcs(c.Procs),
+		scenario.WithProgress(c.Progress),
+	)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	for a, algo := range algos {
-		s := Series{Label: algo.Name()}
-		for xi, x := range xs {
-			var acc stats.Accumulator
-			base := (a*len(xs) + xi) * c.Reps
-			for i := 0; i < c.Reps; i++ {
-				acc.Add(lats[base+i])
-			}
-			s.Points = append(s.Points, Point{X: x, Y: acc.Mean(), CI: acc.Confidence95()})
-		}
-		fig.Series = append(fig.Series, s)
+	if c.Dims != nil {
+		spec.Dims = c.Dims
 	}
-	return nil
+	if c.Length != 0 {
+		spec.Length = c.Length
+	}
+	res, err := scenario.Run(context.Background(), spec)
+	if err != nil {
+		return nil, err
+	}
+	return res.Figure, nil
 }
 
 // AblationMessageLength sweeps the paper's stated message-length
 // range (32–2048 flits): latency should shift by L·β while the
 // algorithm ordering is preserved (wormhole distance insensitivity).
+//
+// Deprecated: build the "ablation-length" scenario through
+// scenario.Build.
 func AblationMessageLength(cfg AblationConfig) (*Figure, error) {
-	cfg.setDefaults()
-	m := topology.NewMesh(cfg.Dims...)
-	fig := &Figure{
-		ID:     "Ablation-L",
-		Title:  fmt.Sprintf("Broadcast latency vs message length on %s", m.Name()),
-		XLabel: "flits",
-		YLabel: "latency (µs)",
-	}
-	lengths := []float64{32, 64, 128, 256, 512, 1024, 2048}
-	err := cfg.cellSweep(fig, m, lengths, func(algo broadcast.Algorithm, xi int, src topology.NodeID) (float64, error) {
-		r, err := broadcast.RunSingle(m, algo, src, baseConfig(1.5), int(lengths[xi]))
-		if err != nil {
-			return 0, fmt.Errorf("ablation-L %s at %g flits: %w", algo.Name(), lengths[xi], err)
-		}
-		return r.Latency(), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return fig, nil
+	return cfg.run("ablation-length")
 }
 
 // AblationHopDelay sweeps the header per-hop routing delay across two
 // orders of magnitude. DB and AB use long coded paths, so they are
 // the algorithms a pessimistic router model would hurt; the sweep
 // quantifies how far the paper's conclusions survive.
+//
+// Deprecated: build the "ablation-hop" scenario through
+// scenario.Build.
 func AblationHopDelay(cfg AblationConfig) (*Figure, error) {
-	cfg.setDefaults()
-	m := topology.NewMesh(cfg.Dims...)
-	fig := &Figure{
-		ID:     "Ablation-hop",
-		Title:  fmt.Sprintf("Broadcast latency vs header hop delay on %s (L=%d)", m.Name(), cfg.Length),
-		XLabel: "hop delay (µs)",
-		YLabel: "latency (µs)",
-	}
-	hops := []float64{0.003, 0.01, 0.03, 0.1, 0.3}
-	err := cfg.cellSweep(fig, m, hops, func(algo broadcast.Algorithm, xi int, src topology.NodeID) (float64, error) {
-		ncfg := baseConfig(1.5)
-		ncfg.HopDelay = hops[xi]
-		r, err := broadcast.RunSingle(m, algo, src, ncfg, cfg.Length)
-		if err != nil {
-			return 0, fmt.Errorf("ablation-hop %s at %g µs: %w", algo.Name(), hops[xi], err)
-		}
-		return r.Latency(), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return fig, nil
+	return cfg.run("ablation-hop")
 }
 
 // AblationAdaptiveSubstrate compares AB over its west-first turn
 // model against AB over the odd-even turn model ([7], the alternative
 // the paper names) and against plain dimension-order routing. All
 // substrates replay the same Substream-derived source sequence, so
-// the comparison is paired; the (substrate, replication) grid runs in
-// parallel on the worker pool.
+// the comparison is paired.
+//
+// Deprecated: build the "ablation-substrate" scenario through
+// scenario.Build.
 func AblationAdaptiveSubstrate(cfg AblationConfig) (*Figure, error) {
-	cfg.setDefaults()
-	m := topology.NewMesh(cfg.Dims...)
-	fig := &Figure{
-		ID:     "Ablation-substrate",
-		Title:  fmt.Sprintf("AB latency by routing substrate on %s (L=%d)", m.Name(), cfg.Length),
-		XLabel: "replication",
-		YLabel: "latency (µs)",
-	}
-	substrates := []struct {
-		name string
-		sel  routing.Selector
-	}{
-		{"west-first", routing.NewWestFirst(m)},
-		{"odd-even", routing.NewOddEven(m)},
-		{"dor", nil},
-	}
-	ab := broadcast.NewAB()
-	jobs := len(substrates) * cfg.Reps
-	p := pool(cfg.Procs, jobs, cfg.Progress)
-	lats, err := runner.Map(p, jobs, func(k int) (float64, error) {
-		sub, rep := substrates[k/cfg.Reps], k%cfg.Reps
-		src := cfg.source(m, rep)
-		plan, err := ab.Plan(m, src)
-		if err != nil {
-			return 0, err
-		}
-		if err := plan.Validate(m); err != nil {
-			return 0, err
-		}
-		sm := sim.New()
-		net, err := network.New(sm, m, baseConfig(1.5))
-		if err != nil {
-			return 0, err
-		}
-		r, err := broadcast.Execute(net, plan, broadcast.Options{
-			Length:   cfg.Length,
-			Adaptive: sub.sel,
-			Tag:      "ablation",
-		})
-		if err != nil {
-			return 0, err
-		}
-		sm.Run()
-		if !r.Done {
-			return 0, fmt.Errorf("ablation-substrate %s: broadcast stalled", sub.name)
-		}
-		return r.Latency(), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	for si, sub := range substrates {
-		s := Series{Label: sub.name}
-		for i := 0; i < cfg.Reps; i++ {
-			s.Points = append(s.Points, Point{X: float64(i), Y: lats[si*cfg.Reps+i]})
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig, nil
+	return cfg.run("ablation-substrate")
 }
 
 // AblationPortModel runs every algorithm under one-port and
@@ -217,48 +93,9 @@ func AblationAdaptiveSubstrate(cfg AblationConfig) (*Figure, error) {
 // fan-out, so it should gain the most from the extra ports. Sources
 // depend only on (Seed, replication), so the one-port and three-port
 // runs of each algorithm are paired on identical source sequences.
+//
+// Deprecated: build the "ablation-ports" scenario through
+// scenario.Build.
 func AblationPortModel(cfg AblationConfig) (*Figure, error) {
-	cfg.setDefaults()
-	m := topology.NewMesh(cfg.Dims...)
-	fig := &Figure{
-		ID:     "Ablation-ports",
-		Title:  fmt.Sprintf("Broadcast latency vs injection ports on %s (L=%d)", m.Name(), cfg.Length),
-		XLabel: "ports",
-		YLabel: "latency (µs)",
-	}
-	ports := []float64{1, 3}
-	err := cfg.cellSweep(fig, m, ports, func(algo broadcast.Algorithm, xi int, src topology.NodeID) (float64, error) {
-		ncfg := baseConfig(1.5)
-		ncfg.Ports = int(ports[xi])
-		plan, err := algo.Plan(m, src)
-		if err != nil {
-			return 0, err
-		}
-		sm := sim.New()
-		net, err := network.New(sm, m, ncfg)
-		if err != nil {
-			return 0, err
-		}
-		var adaptive routing.Selector
-		if algo.Name() == "AB" {
-			adaptive = routing.NewWestFirst(m)
-		}
-		r, err := broadcast.Execute(net, plan, broadcast.Options{
-			Length:   cfg.Length,
-			Adaptive: adaptive,
-			Tag:      "ablation",
-		})
-		if err != nil {
-			return 0, err
-		}
-		sm.Run()
-		if !r.Done {
-			return 0, fmt.Errorf("ablation-ports %s: broadcast stalled", algo.Name())
-		}
-		return r.Latency(), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return fig, nil
+	return cfg.run("ablation-ports")
 }

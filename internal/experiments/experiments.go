@@ -1,16 +1,21 @@
 // Package experiments reproduces every table and figure of the
-// paper's evaluation section. Each driver returns a structured result
-// that prints in the same rows/series the paper reports; cmd/paperbench
-// runs them all and EXPERIMENTS.md records paper-vs-measured values.
+// paper's evaluation section. It is now a thin compatibility layer:
+// the spec, registry and run loop live in internal/scenario, and each
+// driver here translates its legacy config into a scenario spec and
+// runs it. Output is byte-identical to the pre-redesign drivers
+// (pinned by the golden tests in internal/scenario) — new code should
+// build specs through the registry instead:
 //
-// Every driver fans its independent simulation replications out over
-// a runner.Pool. Each config carries two orchestration knobs: Procs
-// caps the worker count (0 = one worker per core) and Progress, when
-// non-nil, receives live (done, total) completion counts. Replication
-// randomness comes from sim.Substream keyed on (seed, replication),
-// and samples are aggregated in replication order, so a driver's
-// output is bit-identical for any Procs value — run with -procs 1 to
-// debug, -procs N to regenerate the paper quickly, and diff nothing.
+//	spec, _ := scenario.Build("fig1", scenario.WithReps(40))
+//	res, _ := scenario.Run(ctx, spec)
+//
+// Every scenario fans its independent simulation replications out
+// over a runner.Pool. Each config carries two orchestration knobs:
+// Procs caps the worker count (0 = one worker per core) and Progress,
+// when non-nil, receives live (done, total) completion counts.
+// Replication randomness comes from sim.Substream keyed on (seed,
+// replication), and samples are aggregated in replication order, so a
+// driver's output is bit-identical for any Procs value.
 //
 // Each aggregated point records its mean and the 95% Student-t
 // confidence interval over replications (Point.CI); cmd/paperbench
@@ -18,136 +23,25 @@
 package experiments
 
 import (
-	"fmt"
-	"math"
-	"sort"
-	"strings"
-
 	"repro/internal/broadcast"
-	"repro/internal/network"
-	"repro/internal/runner"
-	"repro/internal/stats"
+	"repro/internal/scenario"
 )
 
 // Point is one (x, y) sample of a series.
-type Point struct {
-	X, Y float64
-	// CI is the 95% confidence interval behind Y when the point
-	// aggregates replications; the zero Interval means no interval
-	// is available (single-shot points).
-	CI stats.Interval
-}
+type Point = scenario.Point
 
 // Series is one algorithm's curve in a figure.
-type Series struct {
-	Label  string
-	Points []Point
-}
+type Series = scenario.Series
 
 // Figure is a reproduced paper figure: one series per algorithm.
-type Figure struct {
-	ID     string
-	Title  string
-	XLabel string
-	YLabel string
-	Series []Series
-}
+type Figure = scenario.Figure
 
-// String implements fmt.Stringer via Format.
-func (f *Figure) String() string { return f.Format() }
+// CVTable is one of the paper's Tables 1/2.
+type CVTable = scenario.CVTable
 
-// HasCI reports whether any point of the figure carries a finite
-// confidence interval (at least two replications behind it).
-func (f *Figure) HasCI() bool {
-	for _, s := range f.Series {
-		for _, p := range s.Points {
-			if p.CI.N > 1 && !math.IsInf(p.CI.HalfWide, 0) {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// Format renders the figure as an aligned text table, x values as
-// rows and algorithms as columns — the shape of the paper's plots.
-// When the figure carries confidence intervals, each cell prints
-// mean±half-width of the 95% interval.
-func (f *Figure) Format() string {
-	width, ci := 12, f.HasCI()
-	if ci {
-		width = 20
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s: %s\n", f.ID, f.Title)
-	fmt.Fprintf(&b, "%-14s", f.XLabel)
-	for _, s := range f.Series {
-		fmt.Fprintf(&b, "%*s", width, s.Label)
-	}
-	b.WriteByte('\n')
-
-	xs := map[float64]bool{}
-	for _, s := range f.Series {
-		for _, p := range s.Points {
-			xs[p.X] = true
-		}
-	}
-	sorted := make([]float64, 0, len(xs))
-	for x := range xs {
-		sorted = append(sorted, x)
-	}
-	sort.Float64s(sorted)
-
-	for _, x := range sorted {
-		fmt.Fprintf(&b, "%-14g", x)
-		for _, s := range f.Series {
-			p, ok := lookupPoint(s, x)
-			if !ok {
-				fmt.Fprintf(&b, "%*s", width, "-")
-				continue
-			}
-			if ci && p.CI.N > 1 && !math.IsInf(p.CI.HalfWide, 0) {
-				fmt.Fprintf(&b, "%*s", width, fmt.Sprintf("%.4f±%.3f", p.Y, p.CI.HalfWide))
-			} else {
-				fmt.Fprintf(&b, "%*.4f", width, p.Y)
-			}
-		}
-		b.WriteByte('\n')
-	}
-	return b.String()
-}
-
-func lookupPoint(s Series, x float64) (Point, bool) {
-	for _, p := range s.Points {
-		if p.X == x {
-			return p, true
-		}
-	}
-	return Point{}, false
-}
+// CVColumn is one mesh-size column of a CVTable.
+type CVColumn = scenario.CVColumn
 
 // PaperAlgorithms returns the four algorithms in the paper's
 // presentation order.
-func PaperAlgorithms() []broadcast.Algorithm {
-	return []broadcast.Algorithm{
-		broadcast.NewRD(),
-		broadcast.NewEDN(),
-		broadcast.NewDB(),
-		broadcast.NewAB(),
-	}
-}
-
-// baseConfig returns the paper's network constants with the given
-// startup latency.
-func baseConfig(ts float64) network.Config {
-	cfg := network.DefaultConfig()
-	cfg.Ts = ts
-	return cfg
-}
-
-// pool builds the worker pool for one driver run: procs workers (0 =
-// one per core) ticking a live progress counter that expects total
-// completions and reports each to report (which may be nil).
-func pool(procs, total int, report func(done, total int)) *runner.Pool {
-	return runner.New(procs).NotifyEach(runner.NewProgress(total, report).Tick)
-}
+func PaperAlgorithms() []broadcast.Algorithm { return scenario.PaperAlgorithms() }

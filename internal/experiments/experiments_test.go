@@ -202,9 +202,11 @@ func at(t *testing.T, series map[string]Series, label string, x float64) float64
 	if !ok {
 		t.Fatalf("no series %q", label)
 	}
-	p, ok := lookupPoint(s, x)
-	if !ok {
-		t.Fatalf("series %q has no point at %g", label, x)
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y
+		}
 	}
-	return p.Y
+	t.Fatalf("series %q has no point at %g", label, x)
+	return 0
 }

@@ -1,13 +1,9 @@
 package experiments
 
 import (
-	"fmt"
+	"context"
 
-	"repro/internal/broadcast"
-	"repro/internal/runner"
-	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/topology"
+	"repro/internal/scenario"
 )
 
 // Fig1Config parameterises the Fig. 1 sweep (broadcast latency vs
@@ -34,86 +30,45 @@ type Fig1Config struct {
 	Progress func(done, total int)
 }
 
-func (c *Fig1Config) setDefaults() {
-	if c.Sizes == nil {
-		c.Sizes = [][]int{{4, 4, 4}, {8, 8, 8}, {10, 10, 10}, {16, 16, 16}}
-	}
-	if c.Length == 0 {
-		c.Length = 100
-	}
-	if c.Ts == 0 {
-		c.Ts = 1.5
-	}
-	if c.Reps == 0 {
-		c.Reps = 40
+// spec translates the legacy config into the registered scenario
+// shape; unset knobs fall through to the spec defaults, which are
+// the same paper values the legacy setDefaults applied.
+func (c Fig1Config) spec(name, id string, ts float64) scenario.Spec {
+	return scenario.Spec{
+		Name: name, ID: id,
+		Workload: scenario.Uncontended,
+		Axis:     scenario.AxisSize,
+		Sizes:    c.Sizes,
+		Length:   c.Length,
+		Ts:       ts,
+		Reps:     c.Reps,
+		Seed:     c.Seed,
+		Procs:    c.Procs,
+		Progress: c.Progress,
 	}
 }
 
 // Fig1 reproduces Fig. 1: single-source broadcast latency of the four
-// algorithms as a function of network size. Each (algorithm, size)
-// point is the mean over Reps replications with a 95% confidence
-// interval in Point.CI. The FULL algos×sizes×reps index space is
-// submitted to the pool as one Map, so parallelism is never capped by
-// a single point's replication count and there is no barrier between
-// points; replication i of every cell draws its source from
-// sim.Substream(Seed, i), and aggregation runs in replication order,
-// so output is bit-identical for any Procs value.
+// algorithms as a function of network size.
+//
+// Deprecated: build the "fig1" scenario through scenario.Build (or
+// wormsim.NewScenario) and run it with scenario.Run.
 func Fig1(cfg Fig1Config) (*Figure, error) {
-	cfg.setDefaults()
-	fig := &Figure{
-		ID:     "Fig.1",
-		Title:  fmt.Sprintf("Broadcast latency vs network size (L=%d flits, Ts=%g µs)", cfg.Length, cfg.Ts),
-		XLabel: "nodes",
-		YLabel: "latency (µs)",
-	}
-	algos := PaperAlgorithms()
-	meshes := make([]*topology.Mesh, len(cfg.Sizes))
-	for i, dims := range cfg.Sizes {
-		meshes[i] = topology.NewMesh(dims...)
-	}
-	jobs := len(algos) * len(meshes) * cfg.Reps
-	p := pool(cfg.Procs, jobs, cfg.Progress)
-	lats, err := runner.Map(p, jobs, func(k int) (float64, error) {
-		algo := algos[k/(len(meshes)*cfg.Reps)]
-		m := meshes[(k/cfg.Reps)%len(meshes)]
-		src := topology.NodeID(sim.Substream(cfg.Seed, uint64(k%cfg.Reps)).Intn(m.Nodes()))
-		r, err := broadcast.RunSingle(m, algo, src, baseConfig(cfg.Ts), cfg.Length)
-		if err != nil {
-			return 0, fmt.Errorf("fig1 %s on %s: %w", algo.Name(), m.Name(), err)
-		}
-		return r.Latency(), nil
-	})
+	res, err := scenario.Run(context.Background(), cfg.spec("fig1", "Fig.1", cfg.Ts))
 	if err != nil {
 		return nil, err
 	}
-	for a, algo := range algos {
-		s := Series{Label: algo.Name()}
-		for mi, m := range meshes {
-			var acc stats.Accumulator
-			base := (a*len(meshes) + mi) * cfg.Reps
-			for i := 0; i < cfg.Reps; i++ {
-				acc.Add(lats[base+i])
-			}
-			s.Points = append(s.Points, Point{
-				X:  float64(m.Nodes()),
-				Y:  acc.Mean(),
-				CI: acc.Confidence95(),
-			})
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig, nil
+	return res.Figure, nil
 }
 
 // Fig1StartupLatency reproduces the §3.1 sensitivity study: the same
 // sweep at the smaller startup latency Ts = 0.15 µs.
+//
+// Deprecated: build the "fig1b" scenario through scenario.Build.
 func Fig1StartupLatency(cfg Fig1Config) (*Figure, error) {
-	cfg.setDefaults()
-	cfg.Ts = 0.15
-	fig, err := Fig1(cfg)
+	res, err := scenario.Run(context.Background(), cfg.spec("fig1b", "Fig.1b", 0.15))
 	if err != nil {
 		return nil, err
 	}
-	fig.ID = "Fig.1b"
-	return fig, nil
+	return res.Figure, nil
 }

@@ -1,13 +1,9 @@
 package experiments
 
 import (
-	"fmt"
-	"strings"
+	"context"
 
-	"repro/internal/broadcast"
-	"repro/internal/metrics"
-	"repro/internal/runner"
-	"repro/internal/topology"
+	"repro/internal/scenario"
 )
 
 // Fig2Config parameterises the node-level study: Fig. 2 (coefficient
@@ -54,199 +50,59 @@ type Fig2Config struct {
 	Progress func(done, total int)
 }
 
-func (c *Fig2Config) setDefaults() {
-	if c.Sizes == nil {
-		c.Sizes = [][]int{{4, 4, 4}, {4, 4, 16}, {8, 8, 8}, {8, 8, 16}}
+func (c Fig2Config) spec() scenario.Spec {
+	return scenario.Spec{
+		Name: "fig2", ID: "Fig.2",
+		Workload:            scenario.Contended,
+		Axis:                scenario.AxisSize,
+		Sizes:               c.Sizes,
+		Length:              c.Length,
+		Ts:                  c.Ts,
+		Reps:                c.Reps,
+		Interarrival:        c.Interarrival,
+		PerNodeInterarrival: c.PerNodeInterarrival,
+		Seed:                c.Seed,
+		Procs:               c.Procs,
+		Progress:            c.Progress,
 	}
-	if c.Length == 0 {
-		c.Length = 64
-	}
-	if c.Ts == 0 {
-		c.Ts = 1.5
-	}
-	if c.Reps == 0 {
-		c.Reps = 40
-	}
-	if c.Interarrival == 0 {
-		c.Interarrival = 5
-	}
-}
-
-func (c *Fig2Config) gapFor(nodes int) float64 {
-	if c.PerNodeInterarrival > 0 {
-		return c.PerNodeInterarrival / float64(nodes)
-	}
-	return c.Interarrival
-}
-
-// study runs the contended CV study for one (algorithm, mesh) cell.
-func (c *Fig2Config) study(algo broadcast.Algorithm, dims []int) (*metrics.SingleSourceStats, error) {
-	m := topology.NewMesh(dims...)
-	st, err := metrics.ContendedCVStudy(m, algo, metrics.ContendedConfig{
-		Net:          baseConfig(c.Ts),
-		Length:       c.Length,
-		Broadcasts:   c.Reps,
-		Interarrival: c.gapFor(m.Nodes()),
-		Seed:         c.Seed,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("%s on %s: %w", algo.Name(), m.Name(), err)
-	}
-	return st, nil
-}
-
-// studyGrid runs the full (algorithm, mesh) study grid once, cells
-// in parallel on the worker pool; cell (a, i) lands at index
-// a*len(Sizes)+i. Fig. 2 and Tables 1–2 are different projections of
-// this same grid, so callers wanting both should run it once (see
-// Fig2AndTables).
-func (c *Fig2Config) studyGrid() ([]broadcast.Algorithm, []*metrics.SingleSourceStats, error) {
-	algos := PaperAlgorithms()
-	cells := len(algos) * len(c.Sizes)
-	p := pool(c.Procs, cells, c.Progress)
-	grid, err := runner.Map(p, cells, func(k int) (*metrics.SingleSourceStats, error) {
-		return c.study(algos[k/len(c.Sizes)], c.Sizes[k%len(c.Sizes)])
-	})
-	return algos, grid, err
-}
-
-// fig2From assembles the Fig. 2 figure from a computed study grid.
-func (c *Fig2Config) fig2From(algos []broadcast.Algorithm, grid []*metrics.SingleSourceStats) *Figure {
-	fig := &Figure{
-		ID:     "Fig.2",
-		Title:  fmt.Sprintf("Coefficient of variation of arrival times vs network size (L=%d, Ts=%g µs)", c.Length, c.Ts),
-		XLabel: "nodes",
-		YLabel: "CV",
-	}
-	for a, algo := range algos {
-		s := Series{Label: algo.Name()}
-		for i := range c.Sizes {
-			st := grid[a*len(c.Sizes)+i]
-			s.Points = append(s.Points, Point{
-				X:  float64(st.Nodes),
-				Y:  st.CV.Mean(),
-				CI: st.CV.Confidence95(),
-			})
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig
 }
 
 // Fig2 reproduces Fig. 2: the coefficient of variation of message
 // arrival times at the destination nodes, per algorithm, vs size.
-// The (algorithm, mesh) cells are independent simulations and run in
-// parallel on the worker pool; each point carries the 95% confidence
-// interval of the CV over the measured broadcasts.
+//
+// Deprecated: build the "fig2" scenario through scenario.Build (or
+// wormsim.NewScenario) and run it with scenario.Run.
 func Fig2(cfg Fig2Config) (*Figure, error) {
-	cfg.setDefaults()
-	algos, grid, err := cfg.studyGrid()
+	res, err := scenario.Run(context.Background(), cfg.spec())
 	if err != nil {
-		return nil, fmt.Errorf("fig2 %w", err)
+		return nil, err
 	}
-	return cfg.fig2From(algos, grid), nil
-}
-
-// CVTable is one of the paper's Tables 1/2: per mesh size, the CV of
-// the baselines and the improvement of the proposed algorithm.
-type CVTable struct {
-	ID       string
-	Proposed string
-	Columns  []CVColumn
-}
-
-// CVColumn is one mesh-size column of a CVTable.
-type CVColumn struct {
-	Mesh       string
-	Nodes      int
-	ProposedCV float64
-	Rows       []metrics.ImprovementRow
-}
-
-// String implements fmt.Stringer via Format.
-func (t *CVTable) String() string { return t.Format() }
-
-// Format renders the table in the paper's layout: baselines as rows,
-// sizes as columns, each cell CV and improvement%.
-func (t *CVTable) Format() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s: CV of broadcast latencies with %s improvement (%sIMR%%)\n", t.ID, t.Proposed, t.Proposed)
-	fmt.Fprintf(&b, "%-10s", "")
-	for _, c := range t.Columns {
-		fmt.Fprintf(&b, "%22s", fmt.Sprintf("%s (%d)", c.Mesh, c.Nodes))
-	}
-	b.WriteByte('\n')
-	if len(t.Columns) == 0 {
-		return b.String()
-	}
-	for i := range t.Columns[0].Rows {
-		fmt.Fprintf(&b, "%-10s", t.Columns[0].Rows[i].Baseline)
-		for _, c := range t.Columns {
-			r := c.Rows[i]
-			fmt.Fprintf(&b, "%22s", fmt.Sprintf("CV %.4f  +%.2f%%", r.BaselineCV, r.Improvement))
-		}
-		b.WriteByte('\n')
-	}
-	fmt.Fprintf(&b, "%-10s", t.Proposed)
-	for _, c := range t.Columns {
-		fmt.Fprintf(&b, "%22s", fmt.Sprintf("CV %.4f", c.ProposedCV))
-	}
-	b.WriteByte('\n')
-	return b.String()
-}
-
-// tablesFrom assembles Tables 1 and 2 from a computed study grid.
-func (c *Fig2Config) tablesFrom(algos []broadcast.Algorithm, grid []*metrics.SingleSourceStats) (*CVTable, *CVTable) {
-	t1 := &CVTable{ID: "Table 1", Proposed: "DB"}
-	t2 := &CVTable{ID: "Table 2", Proposed: "AB"}
-	for i, dims := range c.Sizes {
-		m := topology.NewMesh(dims...)
-		stats := map[string]*metrics.SingleSourceStats{}
-		for a, algo := range algos {
-			stats[algo.Name()] = grid[a*len(c.Sizes)+i]
-		}
-		t1.Columns = append(t1.Columns, CVColumn{
-			Mesh:       m.Name(),
-			Nodes:      m.Nodes(),
-			ProposedCV: stats["DB"].CV.Mean(),
-			Rows:       metrics.Improvements(stats["DB"], stats["RD"], stats["EDN"]),
-		})
-		t2.Columns = append(t2.Columns, CVColumn{
-			Mesh:       m.Name(),
-			Nodes:      m.Nodes(),
-			ProposedCV: stats["AB"].CV.Mean(),
-			Rows:       metrics.Improvements(stats["AB"], stats["RD"], stats["EDN"]),
-		})
-	}
-	return t1, t2
+	return res.Figure, nil
 }
 
 // Tables reproduces Tables 1 and 2: CV of RD and EDN with the
-// improvement percentages of DB (Table 1) and AB (Table 2). All
-// (algorithm, mesh) studies run in parallel on the worker pool; the
-// tables are assembled from the results in the paper's fixed order,
-// so output does not depend on scheduling.
+// improvement percentages of DB (Table 1) and AB (Table 2).
+//
+// Deprecated: run the "fig2" (or "table1"/"table2") scenario; every
+// contended run over the paper's four algorithms carries both table
+// projections in its Result.
 func Tables(cfg Fig2Config) (*CVTable, *CVTable, error) {
-	cfg.setDefaults()
-	algos, grid, err := cfg.studyGrid()
+	res, err := scenario.Run(context.Background(), cfg.spec())
 	if err != nil {
-		return nil, nil, fmt.Errorf("tables %w", err)
+		return nil, nil, err
 	}
-	t1, t2 := cfg.tablesFrom(algos, grid)
-	return t1, t2, nil
+	return res.Table1, res.Table2, nil
 }
 
 // Fig2AndTables computes the shared (algorithm, mesh) study grid ONCE
-// and projects it into Fig. 2 and Tables 1–2 — the contended studies
-// are among the most expensive artifacts, and running Fig2 and Tables
-// separately would simulate the identical grid twice. cmd/paperbench
-// uses this whenever both artifacts are selected.
+// and projects it into Fig. 2 and Tables 1–2.
+//
+// Deprecated: run the "fig2" scenario; its Result carries the figure
+// and both tables from one grid.
 func Fig2AndTables(cfg Fig2Config) (*Figure, *CVTable, *CVTable, error) {
-	cfg.setDefaults()
-	algos, grid, err := cfg.studyGrid()
+	res, err := scenario.Run(context.Background(), cfg.spec())
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("fig2+tables %w", err)
+		return nil, nil, nil, err
 	}
-	t1, t2 := cfg.tablesFrom(algos, grid)
-	return cfg.fig2From(algos, grid), t1, t2, nil
+	return res.Figure, res.Table1, res.Table2, nil
 }

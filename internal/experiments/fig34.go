@@ -1,13 +1,11 @@
 package experiments
 
 import (
-	"fmt"
+	"context"
 
-	"repro/internal/routing"
-	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/topology"
-	"repro/internal/traffic"
 )
 
 // Fig34Config parameterises the mixed unicast/broadcast study of
@@ -56,103 +54,44 @@ type Fig34Config struct {
 	Progress func(done, total int)
 }
 
-func (c *Fig34Config) setDefaults() {
-	if c.Dims == nil {
-		c.Dims = []int{8, 8, 8}
-	}
-	if c.Loads == nil {
-		c.Loads = []float64{0.005, 0.006, 0.01, 0.02, 0.025, 0.03, 0.05}
-	}
-	if c.Length == 0 {
-		c.Length = 32
-	}
-	if c.BroadcastFraction == 0 {
-		c.BroadcastFraction = 0.10
-	}
-	if c.BatchSize == 0 {
-		c.BatchSize = 100
-	}
-	if c.Batches == 0 {
-		c.Batches = 21
-		c.Warmup = 1
-	}
-	if c.LoadScale == 0 {
-		c.LoadScale = 320
-	}
-}
-
 // Fig34 reproduces Fig. 3 (8×8×8) or Fig. 4 (16×16×8) depending on
 // Dims: mean communication latency vs offered load per algorithm.
 // RD, EDN and DB run over dimension-order unicast routing; AB couples
 // with west-first adaptive routing, to which the paper attributes its
-// advantage under load. The (algorithm, load) grid runs in parallel
-// on the worker pool; each point's seed depends only on its load
-// index, so the figure is bit-identical for any Procs value. Points
-// carry the batch-means 95% confidence interval.
+// advantage under load.
+//
+// Deprecated: build the "fig3" or "fig4" scenario through
+// scenario.Build (or wormsim.NewScenario) and run it with
+// scenario.Run.
 func Fig34(cfg Fig34Config) (*Figure, error) {
-	cfg.setDefaults()
-	m := topology.NewMesh(cfg.Dims...)
-	id := "Fig.3"
-	if m.Nodes() != 512 {
-		id = "Fig.4"
+	dims := cfg.Dims
+	if dims == nil {
+		dims = []int{8, 8, 8}
 	}
-	fig := &Figure{
-		ID:     id,
-		Title:  fmt.Sprintf("Mean latency vs traffic load on %s (L=%d flits, 90%% unicast / 10%% broadcast)", m.Name(), cfg.Length),
-		XLabel: "load (msg/ms)",
-		YLabel: "latency (µs)",
+	name, id := "fig3", "Fig.3"
+	if topology.NewMesh(dims...).Nodes() != 512 {
+		name, id = "fig4", "Fig.4"
 	}
-	maxInjected := cfg.MaxInjected
-	if maxInjected <= 0 {
-		window := cfg.Batches * cfg.BatchSize
-		if m.Nodes() > 1024 {
-			maxInjected = 3 * window
-		} else {
-			maxInjected = 10 * window
-		}
-	}
-	algos := PaperAlgorithms()
-	nl := len(cfg.Loads)
-	points := len(algos) * nl
-	p := pool(cfg.Procs, points, cfg.Progress)
-	results, err := runner.Map(p, points, func(k int) (Point, error) {
-		algo, load := algos[k/nl], cfg.Loads[k%nl]
-		var unicast, adaptive routing.Selector
-		if algo.Name() == "AB" {
-			wf := routing.NewWestFirst(m)
-			unicast, adaptive = wf, wf
-		}
-		tcfg := traffic.MixedConfig{
-			Rate:              load * cfg.LoadScale / 1000, // messages/ms -> messages/µs
-			BroadcastFraction: cfg.BroadcastFraction,
-			Length:            cfg.Length,
-			Algorithm:         algo,
-			Unicast:           unicast,
-			Adaptive:          adaptive,
-			Seed:              cfg.Seed + uint64(k%nl)*1009,
-			BatchSize:         cfg.BatchSize,
-			Batches:           cfg.Batches,
-			Warmup:            cfg.Warmup,
-			MaxTime:           cfg.MaxTime,
-			MaxInjected:       maxInjected,
-		}
-		r, err := traffic.RunMixed(m, tcfg)
-		if err != nil {
-			return Point{}, fmt.Errorf("%s %s at %g msg/ms: %w", id, algo.Name(), load, err)
-		}
-		return Point{X: load, Y: r.MeanLatency, CI: r.CI}, nil
+	res, err := scenario.Run(context.Background(), scenario.Spec{
+		Name: name, ID: id,
+		Workload:          scenario.Mixed,
+		Axis:              scenario.AxisLoad,
+		Dims:              dims,
+		Xs:                cfg.Loads,
+		LoadScale:         cfg.LoadScale,
+		Length:            cfg.Length,
+		BroadcastFraction: cfg.BroadcastFraction,
+		BatchSize:         cfg.BatchSize,
+		Batches:           cfg.Batches,
+		Warmup:            cfg.Warmup,
+		Seed:              cfg.Seed,
+		MaxTime:           cfg.MaxTime,
+		MaxInjected:       cfg.MaxInjected,
+		Procs:             cfg.Procs,
+		Progress:          cfg.Progress,
 	})
 	if err != nil {
 		return nil, err
 	}
-	for a, algo := range algos {
-		// Three-index slices cap each series' capacity at its own
-		// window so an append by a consumer can never clobber the
-		// next series' points in the shared backing array.
-		fig.Series = append(fig.Series, Series{
-			Label:  algo.Name(),
-			Points: results[a*nl : (a+1)*nl : (a+1)*nl],
-		})
-	}
-	return fig, nil
+	return res.Figure, nil
 }

@@ -1,7 +1,9 @@
 // Package export serialises experiment results for downstream
 // plotting: figures become tidy CSV (one row per series point) and
 // tables become wide CSV matching the paper's layout. Everything goes
-// through encoding/csv so quoting is always correct.
+// through encoding/csv so quoting is always correct. NewCSVSink
+// adapts the writers to the scenario.Sink interface, so a scenario
+// run can stream straight to CSV.
 package export
 
 import (
@@ -11,14 +13,14 @@ import (
 	"math"
 	"strconv"
 
-	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
 // FigureCSV writes fig as tidy CSV: figure,series,x,y,ci95_half,n.
 // ci95_half is the half-width of the point's 95% confidence interval
 // over replications and n the replication count behind it; both are
 // empty for single-shot points.
-func FigureCSV(w io.Writer, fig *experiments.Figure) error {
+func FigureCSV(w io.Writer, fig *scenario.Figure) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"figure", "series", fig.XLabel, fig.YLabel, "ci95_half", "n"}); err != nil {
 		return err
@@ -50,7 +52,7 @@ func FigureCSV(w io.Writer, fig *experiments.Figure) error {
 // TableCSV writes a CV table as wide CSV: one column group per mesh
 // size, rows for each baseline's CV and improvement plus the proposed
 // algorithm's CV.
-func TableCSV(w io.Writer, t *experiments.CVTable) error {
+func TableCSV(w io.Writer, t *scenario.CVTable) error {
 	cw := csv.NewWriter(w)
 	header := []string{"row"}
 	for _, c := range t.Columns {
@@ -83,4 +85,23 @@ func TableCSV(w io.Writer, t *experiments.CVTable) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// csvSink writes a scenario result's primary artifact as CSV.
+type csvSink struct{ w io.Writer }
+
+// NewCSVSink returns a scenario.Sink that writes the primary
+// artifact — the figure, or the table a table1/table2 spec selects —
+// as CSV to w. It is what `sweep` streams every scenario through.
+func NewCSVSink(w io.Writer) scenario.Sink { return csvSink{w} }
+
+func (s csvSink) Emit(r *scenario.Result) error {
+	switch r.Spec.Artifact {
+	case scenario.ArtifactTable1:
+		return TableCSV(s.w, r.Table1)
+	case scenario.ArtifactTable2:
+		return TableCSV(s.w, r.Table2)
+	default:
+		return FigureCSV(s.w, r.Figure)
+	}
 }

@@ -26,3 +26,10 @@ func SaturationConfig(seed uint64) ContendedConfig {
 
 // SaturationDims is the mesh the saturation benchmark runs on.
 func SaturationDims() []int { return []int{8, 8, 8} }
+
+// SaturationInterarrivals is the injection-gap sweep (µs) of the
+// "saturation" registry scenario: from a relaxed 8 µs gap down past
+// the benchmark's 2 µs operating point into overload, so the latency
+// curve traverses the exact regime the perf trajectory is measured
+// in.
+func SaturationInterarrivals() []float64 { return []float64{8, 4, 2, 1, 0.5} }

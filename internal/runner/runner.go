@@ -27,6 +27,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -72,22 +73,38 @@ func (p *Pool) NotifyEach(fn func()) *Pool {
 }
 
 // Map runs job(0) … job(n-1) on up to p.Procs() workers and returns
-// the n results in index order. Which worker runs which index is
-// scheduling-dependent, but the returned slice is not: job i's result
-// always lands in slot i, so aggregating the slice front to back is
-// bit-identical to running a serial loop.
+// the n results in index order. It is MapCtx without cancellation.
+func Map[T any](p *Pool, n int, job func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), p, n, job)
+}
+
+// MapCtx runs job(0) … job(n-1) on up to p.Procs() workers and
+// returns the n results in index order. Which worker runs which index
+// is scheduling-dependent, but the returned slice is not: job i's
+// result always lands in slot i, so aggregating the slice front to
+// back is bit-identical to running a serial loop.
 //
-// If any job returns an error, Map stops handing out new indices,
+// If any job returns an error, MapCtx stops handing out new indices,
 // waits for in-flight jobs, and returns the error of the
 // lowest-indexed failed job (deterministic when the failure does not
 // race the shutdown). A panicking job propagates its panic to the
 // caller.
-func Map[T any](p *Pool, n int, job func(i int) (T, error)) ([]T, error) {
+//
+// Cancelling ctx stops the dispatch of new indices; jobs already in
+// flight run to completion (the pool cannot interrupt a simulation
+// mid-event) and the workers are drained before MapCtx returns. When
+// the run was cut short by cancellation and no job failed, the
+// returned error is ctx.Err().
+func MapCtx[T any](ctx context.Context, p *Pool, n int, job func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	results := make([]T, n)
 	errs := make([]error, n)
+	done := ctx.Done()
 
 	workers := p.procs
 	if workers > n {
@@ -97,6 +114,9 @@ func Map[T any](p *Pool, n int, job func(i int) (T, error)) ([]T, error) {
 		// Fast path: no goroutines, no channels — identical
 		// semantics, and keeps -procs 1 runs trivially debuggable.
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			r, err := job(i)
 			results[i] = r
 			errs[i] = err
@@ -111,11 +131,12 @@ func Map[T any](p *Pool, n int, job func(i int) (T, error)) ([]T, error) {
 	}
 
 	var (
-		next    atomic.Int64 // next index to hand out
-		failed  atomic.Bool  // stop handing out new indices
-		panicMu sync.Mutex
-		panics  []any
-		wg      sync.WaitGroup
+		next      atomic.Int64 // next index to hand out
+		failed    atomic.Bool  // stop handing out new indices
+		cancelled atomic.Bool  // ctx fired before the run completed
+		panicMu   sync.Mutex
+		panics    []any
+		wg        sync.WaitGroup
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -137,6 +158,16 @@ func Map[T any](p *Pool, n int, job func(i int) (T, error)) ([]T, error) {
 				if i >= n || failed.Load() {
 					return
 				}
+				// Check cancellation only after confirming there is
+				// still work to hand out: a cancel that lands once
+				// the index space is exhausted must not discard a
+				// fully computed result set.
+				select {
+				case <-done:
+					cancelled.Store(true)
+					return
+				default:
+				}
 				r, err := job(i)
 				results[i] = r
 				errs[i] = err
@@ -156,13 +187,22 @@ func Map[T any](p *Pool, n int, job func(i int) (T, error)) ([]T, error) {
 	if failed.Load() {
 		return nil, firstError(errs)
 	}
+	if cancelled.Load() {
+		return nil, ctx.Err()
+	}
 	return results, nil
 }
 
 // ForEach runs job(0) … job(n-1) on the pool for side effects only.
 // Error semantics match Map.
 func ForEach(p *Pool, n int, job func(i int) error) error {
-	_, err := Map(p, n, func(i int) (struct{}, error) {
+	return ForEachCtx(context.Background(), p, n, job)
+}
+
+// ForEachCtx runs job(0) … job(n-1) on the pool for side effects
+// only, with the cancellation semantics of MapCtx.
+func ForEachCtx(ctx context.Context, p *Pool, n int, job func(i int) error) error {
+	_, err := MapCtx(ctx, p, n, func(i int) (struct{}, error) {
 		return struct{}{}, job(i)
 	})
 	return err

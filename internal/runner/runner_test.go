@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -120,6 +121,96 @@ func TestForEach(t *testing.T) {
 		if v != int64(i) {
 			t.Fatalf("slot %d = %d", i, v)
 		}
+	}
+}
+
+func TestMapCtxPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, procs := range []int{1, 4} {
+		var ran atomic.Int64
+		_, err := MapCtx(ctx, New(procs), 100, func(i int) (int, error) {
+			ran.Add(1)
+			return i, nil
+		})
+		if err != context.Canceled {
+			t.Fatalf("procs=%d: err = %v, want context.Canceled", procs, err)
+		}
+		if n := ran.Load(); n != 0 {
+			t.Fatalf("procs=%d: %d jobs ran under a pre-cancelled context", procs, n)
+		}
+	}
+}
+
+func TestMapCtxCancellationStopsDispatch(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		_, err := MapCtx(ctx, New(procs), 10_000, func(i int) (int, error) {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+			return i, nil
+		})
+		cancel()
+		if err != context.Canceled {
+			t.Fatalf("procs=%d: err = %v, want context.Canceled", procs, err)
+		}
+		// In-flight jobs finish, but the pool must stop dispatching:
+		// nowhere near the full index space runs after the cancel.
+		if n := ran.Load(); n > 1000 {
+			t.Fatalf("procs=%d: ran %d jobs after cancellation", procs, n)
+		}
+	}
+}
+
+func TestMapCtxKeepsCompletedResultsOnLateCancel(t *testing.T) {
+	// A cancel that lands once every index has been handed out must
+	// not discard the fully computed result set (regression: workers
+	// used to check ctx before noticing the index space was done).
+	for _, procs := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		got, err := MapCtx(ctx, New(procs), 20, func(i int) (int, error) {
+			if i == 19 {
+				cancel()
+			}
+			return i, nil
+		})
+		cancel()
+		if err != nil {
+			t.Fatalf("procs=%d: err = %v, want nil for a completed run", procs, err)
+		}
+		if len(got) != 20 || got[19] != 19 {
+			t.Fatalf("procs=%d: results discarded: %v", procs, got)
+		}
+	}
+}
+
+func TestMapCtxJobErrorWinsOverLaterCancel(t *testing.T) {
+	sentinel := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := MapCtx(ctx, New(4), 50, func(i int) (int, error) {
+		if i == 3 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the job error", err)
+	}
+}
+
+func TestForEachCtx(t *testing.T) {
+	var n atomic.Int64
+	if err := ForEachCtx(context.Background(), New(4), 64, func(i int) error {
+		n.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 64 {
+		t.Fatalf("ran %d jobs, want 64", n.Load())
 	}
 }
 

@@ -1,0 +1,246 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Definition is one registry entry: a named scenario with a base
+// spec. New returns a fresh copy so callers can mutate freely.
+type Definition struct {
+	// Name is the registry key, e.g. "fig2" or "ablation-hop".
+	Name string
+	// Summary is the one-line description `sweep -what list` prints.
+	Summary string
+	// New returns the scenario's base spec with the paper's knobs.
+	New func() Spec
+}
+
+var (
+	regMu sync.RWMutex
+	reg   = map[string]Definition{}
+)
+
+// Register adds a scenario definition to the process-wide registry.
+// It panics on an empty name, a nil spec factory, or a duplicate —
+// registration happens at init time, where failing loudly is the
+// only useful behaviour.
+func Register(d Definition) {
+	if d.Name == "" || d.New == nil {
+		panic("scenario: Register needs a name and a spec factory")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := reg[d.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration of %q", d.Name))
+	}
+	reg[d.Name] = d
+}
+
+// Lookup returns the definition registered under name.
+func Lookup(name string) (Definition, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	d, ok := reg[name]
+	return d, ok
+}
+
+// Names returns every registered scenario name, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(reg))
+	for name := range reg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Summaries returns "name — summary" lines for every registered
+// scenario, sorted by name — what `sweep -what list` prints.
+func Summaries() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(reg))
+	for name := range reg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	lines := make([]string, len(names))
+	for i, name := range names {
+		lines[i] = fmt.Sprintf("%-20s %s", name, reg[name].Summary)
+	}
+	return lines
+}
+
+// Build resolves a registered scenario and applies the options over
+// its base spec. An unknown name errors with the available names.
+func Build(name string, opts ...Option) (Spec, error) {
+	d, ok := Lookup(name)
+	if !ok {
+		return Spec{}, fmt.Errorf("unknown scenario %q (available: %v)", name, Names())
+	}
+	spec := d.New()
+	for _, opt := range opts {
+		opt(&spec)
+	}
+	return spec, nil
+}
+
+// The paper's artifacts and the reproduction's ablations, each as a
+// declarative spec. Adding a scenario here — or via Register from
+// any other package — is ALL it takes to make it runnable by name
+// through wormsim.Run, cmd/sweep and the round-trip tests.
+func init() {
+	Register(Definition{
+		Name:    "fig1",
+		Summary: "Fig. 1: broadcast latency vs network size (uncontended, Ts=1.5 µs)",
+		New: func() Spec {
+			return Spec{Name: "fig1", ID: "Fig.1", Workload: Uncontended, Axis: AxisSize}
+		},
+	})
+	Register(Definition{
+		Name:    "fig1b",
+		Summary: "§3.1 sensitivity: Fig. 1 at startup latency Ts=0.15 µs",
+		New: func() Spec {
+			return Spec{Name: "fig1b", ID: "Fig.1b", Workload: Uncontended, Axis: AxisSize, Ts: 0.15}
+		},
+	})
+	Register(Definition{
+		Name:    "fig2",
+		Summary: "Fig. 2: arrival-time CV vs network size (contended broadcasts)",
+		New:     fig2Spec,
+	})
+	Register(Definition{
+		Name:    "table1",
+		Summary: "Table 1: baseline CVs with DB improvement percentages",
+		New: func() Spec {
+			s := fig2Spec()
+			s.Name, s.Artifact = "table1", ArtifactTable1
+			return s
+		},
+	})
+	Register(Definition{
+		Name:    "table2",
+		Summary: "Table 2: baseline CVs with AB improvement percentages",
+		New: func() Spec {
+			s := fig2Spec()
+			s.Name, s.Artifact = "table2", ArtifactTable2
+			return s
+		},
+	})
+	Register(Definition{
+		Name:    "fig3",
+		Summary: "Fig. 3: mean latency vs offered load, 90/10 mixed traffic on 8×8×8",
+		New: func() Spec {
+			return Spec{Name: "fig3", ID: "Fig.3", Workload: Mixed, Axis: AxisLoad, Dims: []int{8, 8, 8}}
+		},
+	})
+	Register(Definition{
+		Name:    "fig4",
+		Summary: "Fig. 4: mean latency vs offered load, 90/10 mixed traffic on 16×16×8",
+		New: func() Spec {
+			return Spec{Name: "fig4", ID: "Fig.4", Workload: Mixed, Axis: AxisLoad, Dims: []int{16, 16, 8}}
+		},
+	})
+	Register(Definition{
+		Name:    "ablation-length",
+		Summary: "ablation: latency vs message length 32–2048 flits (wormhole distance insensitivity)",
+		New: func() Spec {
+			return ablationSpec("ablation-length", "Ablation-L", AxisLength,
+				[]float64{32, 64, 128, 256, 512, 1024, 2048})
+		},
+	})
+	Register(Definition{
+		Name:    "ablation-hop",
+		Summary: "ablation: latency vs per-hop header routing delay (router pessimism)",
+		New: func() Spec {
+			return ablationSpec("ablation-hop", "Ablation-hop", AxisHopDelay,
+				[]float64{0.003, 0.01, 0.03, 0.1, 0.3})
+		},
+	})
+	Register(Definition{
+		Name:    "ablation-substrate",
+		Summary: "ablation: AB over west-first vs odd-even vs DOR substrates (paired sources)",
+		New: func() Spec {
+			s := ablationSpec("ablation-substrate", "Ablation-substrate", AxisSubstrate, nil)
+			s.Algorithms = []string{"AB"}
+			return s
+		},
+	})
+	Register(Definition{
+		Name:    "ablation-ports",
+		Summary: "ablation: one-port vs three-port routers (EDN needs the fan-out)",
+		New: func() Spec {
+			return ablationSpec("ablation-ports", "Ablation-ports", AxisPorts, []float64{1, 3})
+		},
+	})
+
+	// Scenarios the paper never ran — pure specs, no driver code.
+	Register(Definition{
+		Name:    "fig1-ts",
+		Summary: "NEW: broadcast latency vs startup latency Ts on 8×8×8 (continuous §3.1 sweep)",
+		New: func() Spec {
+			return Spec{
+				Name: "fig1-ts", ID: "Fig.1-Ts",
+				Workload: Uncontended, Axis: AxisTs,
+				Dims: []int{8, 8, 8},
+				Xs:   []float64{0.15, 0.5, 1, 1.5, 3, 6},
+				Reps: 10,
+			}
+		},
+	})
+	Register(Definition{
+		Name:    "fig2-torus",
+		Summary: "NEW: Fig. 2's CV study on tori (RD/EDN — the coded-path planners need a mesh)",
+		New: func() Spec {
+			s := fig2Spec()
+			s.Name, s.ID = "fig2-torus", "Fig.2-torus"
+			s.Topo = TopoTorus
+			// DB refuses a torus and AB's west-first substrate is
+			// mesh-only; the step-hungry baselines are the pair whose
+			// torus behaviour the paper leaves open.
+			s.Algorithms = []string{"RD", "EDN"}
+			s.Title = "Coefficient of variation of arrival times vs torus size (L=64, Ts=1.5 µs)"
+			return s
+		},
+	})
+	Register(Definition{
+		Name:    "saturation",
+		Summary: "NEW: mean broadcast latency vs injection gap on 8×8×8 (the perf benchmark's workload as a sweep)",
+		New: func() Spec {
+			sat := metrics.SaturationConfig(0)
+			return Spec{
+				Name: "saturation", ID: "Saturation",
+				Workload: Contended, Axis: AxisInterarrival,
+				Metric: MetricLatency,
+				Dims:   metrics.SaturationDims(),
+				Xs:     metrics.SaturationInterarrivals(),
+				Length: sat.Length,
+				Reps:   sat.Broadcasts,
+			}
+		},
+	})
+}
+
+// fig2Spec is the shared contended grid behind fig2, table1 and
+// table2 — one spec, three projections.
+func fig2Spec() Spec {
+	return Spec{Name: "fig2", ID: "Fig.2", Workload: Contended, Axis: AxisSize}
+}
+
+// ablationSpec is the common shape of the DESIGN.md ablations: an
+// 8×8×8 mesh, 10 replications, Ts=1.5 µs.
+func ablationSpec(name, id string, axis Axis, xs []float64) Spec {
+	return Spec{
+		Name: name, ID: id,
+		Workload: Uncontended, Axis: axis,
+		Dims: []int{8, 8, 8},
+		Xs:   xs,
+		Reps: 10,
+	}
+}

@@ -1,0 +1,76 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Sink receives a finished scenario result. Sinks are how run output
+// leaves the library: text for the paper's layout, JSON for machines,
+// and internal/export's CSV sink for plotting pipelines.
+type Sink interface {
+	Emit(r *Result) error
+}
+
+// RunTo runs the spec and streams the result into every sink in
+// order. The result is still returned, so callers can both persist
+// and inspect it.
+func RunTo(ctx context.Context, spec Spec, sinks ...Sink) (*Result, error) {
+	r, err := Run(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range sinks {
+		if err := s.Emit(r); err != nil {
+			return nil, fmt.Errorf("scenario %s: sink: %w", r.Spec.Name, err)
+		}
+	}
+	return r, nil
+}
+
+// textSink renders the primary artifact in the paper's aligned-table
+// layout — the format cmd/paperbench prints.
+type textSink struct{ w io.Writer }
+
+// NewTextSink returns a sink that writes the primary artifact's
+// Format() to w, followed by a blank line.
+func NewTextSink(w io.Writer) Sink { return textSink{w} }
+
+func (s textSink) Emit(r *Result) error {
+	_, err := fmt.Fprintln(s.w, r.Primary().Format())
+	return err
+}
+
+// jsonSink emits the structured result as one JSON document.
+type jsonSink struct{ w io.Writer }
+
+// NewJSONSink returns a sink that writes the full result — name,
+// figure, and (for contended runs) both tables — as indented JSON.
+func NewJSONSink(w io.Writer) Sink { return jsonSink{w} }
+
+func (s jsonSink) Emit(r *Result) error {
+	doc := struct {
+		Name     string   `json:"name"`
+		Workload Workload `json:"workload"`
+		Axis     Axis     `json:"axis"`
+		Seed     uint64   `json:"seed"`
+		Reps     int      `json:"reps"`
+		Figure   *Figure  `json:"figure"`
+		Table1   *CVTable `json:"table1,omitempty"`
+		Table2   *CVTable `json:"table2,omitempty"`
+	}{
+		Name:     r.Spec.Name,
+		Workload: r.Spec.Workload,
+		Axis:     r.Spec.Axis,
+		Seed:     r.Spec.Seed,
+		Reps:     r.Spec.Reps,
+		Figure:   r.Figure,
+		Table1:   r.Table1,
+		Table2:   r.Table2,
+	}
+	enc := json.NewEncoder(s.w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,421 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Workload selects the traffic pattern a scenario simulates.
+type Workload string
+
+const (
+	// Uncontended replicates single-source broadcasts on an idle
+	// network (Fig. 1 and the ablations): the unit of parallelism is
+	// one replication.
+	Uncontended Workload = "uncontended"
+	// Contended injects overlapping broadcasts with exponential
+	// inter-arrival times into one shared network (Fig. 2, Tables
+	// 1–2, the saturation sweeps): the unit of parallelism is one
+	// (algorithm, x) study cell.
+	Contended Workload = "contended"
+	// Mixed is the §3.3 open-loop workload: every node generates
+	// messages at exponential intervals, split between unicast and
+	// broadcast (Figs. 3–4): the unit of parallelism is one
+	// (algorithm, load) point.
+	Mixed Workload = "mixed"
+)
+
+// Axis selects what a scenario sweeps — the meaning of the figure's
+// x values.
+type Axis string
+
+const (
+	// AxisSize sweeps over topology shapes (Spec.Sizes); x is the
+	// node count.
+	AxisSize Axis = "size"
+	// AxisLength sweeps the message length in flits (Spec.Xs).
+	AxisLength Axis = "length"
+	// AxisHopDelay sweeps the per-hop header routing delay in µs.
+	AxisHopDelay Axis = "hop-delay"
+	// AxisPorts sweeps the router injection-port count.
+	AxisPorts Axis = "ports"
+	// AxisTs sweeps the startup latency in µs.
+	AxisTs Axis = "ts"
+	// AxisSubstrate compares routing substrates (Spec.Substrates);
+	// x is the replication index and each substrate is a series.
+	AxisSubstrate Axis = "substrate"
+	// AxisLoad sweeps the per-node offered load in msg/ms (mixed
+	// workload).
+	AxisLoad Axis = "load"
+	// AxisInterarrival sweeps the mean broadcast injection gap in µs
+	// (contended workload).
+	AxisInterarrival Axis = "interarrival"
+)
+
+// Metric selects the y value a contended scenario reports.
+type Metric string
+
+const (
+	// MetricCV reports the coefficient of variation of destination
+	// arrival times — the paper's node-level metric.
+	MetricCV Metric = "cv"
+	// MetricLatency reports the mean broadcast latency.
+	MetricLatency Metric = "latency"
+)
+
+// Artifact names the primary output of a scenario — what a CSV sink
+// exports and what `sweep` prints.
+type Artifact string
+
+const (
+	// ArtifactFigure is the scenario's figure (the default).
+	ArtifactFigure Artifact = "figure"
+	// ArtifactTable1 is the DB-improvement table projection of a
+	// contended grid (paper Table 1).
+	ArtifactTable1 Artifact = "table1"
+	// ArtifactTable2 is the AB-improvement table projection (Table 2).
+	ArtifactTable2 Artifact = "table2"
+)
+
+// Topology kinds a spec can name.
+const (
+	TopoMesh  = "mesh"
+	TopoTorus = "torus"
+)
+
+// Spec is the declarative description of one experiment scenario.
+// The zero value plus a Workload is runnable: every unset knob
+// defaults to the paper's value for that workload. Specs are plain
+// data (Progress aside) — build them literally, through the
+// [Registry], or with [Option]s via Build.
+type Spec struct {
+	// Name identifies the scenario (the registry key). Defaults to
+	// the workload name for anonymous specs.
+	Name string
+	// ID is the figure/table heading, e.g. "Fig.1". Defaults to Name.
+	ID string
+	// Title, XLabel and YLabel override the derived figure headings;
+	// empty means derive them from Workload and Axis exactly as the
+	// legacy drivers did.
+	Title, XLabel, YLabel string
+	// Artifact is the primary output (figure by default). Contended
+	// runs with the paper's four algorithms always compute Tables
+	// 1–2 as well; table1/table2 merely select which one sinks emit.
+	Artifact Artifact
+
+	// Workload selects the traffic pattern (default Uncontended).
+	Workload Workload
+	// Axis selects the sweep (default AxisSize).
+	Axis Axis
+	// Topo is the topology kind: TopoMesh (default) or TopoTorus.
+	Topo string
+	// Dims is the fixed topology shape for non-size axes (default
+	// 8×8×8).
+	Dims []int
+	// Sizes lists the topology shapes of an AxisSize sweep; nil
+	// means the paper's sizes for the workload.
+	Sizes [][]int
+	// Xs lists the sweep values for the scalar axes (length,
+	// hop-delay, ports, ts, load, interarrival); nil means the
+	// paper's values where the axis has one.
+	Xs []float64
+
+	// Algorithms names the broadcast algorithms to compare; nil
+	// means the paper's four (RD, EDN, DB, AB) in its order.
+	Algorithms []string
+	// Substrates names the routing substrates of an AxisSubstrate
+	// sweep; nil means west-first, odd-even, dor.
+	Substrates []string
+
+	// Length is the message length in flits (workload default: 100
+	// uncontended, 64 contended, 32 mixed).
+	Length int
+	// Ts is the startup latency in µs (default 1.5).
+	Ts float64
+	// Metric is the contended y value (default MetricCV).
+	Metric Metric
+
+	// Interarrival is the contended mean injection gap in µs
+	// (default 5, Fig. 2's light overlapping load).
+	Interarrival float64
+	// PerNodeInterarrival, when set, overrides Interarrival with
+	// PerNodeInterarrival/Nodes so the per-node broadcast rate is
+	// constant across sizes.
+	PerNodeInterarrival float64
+
+	// LoadScale multiplies the mixed injected rate (default 320; see
+	// Fig34Config in internal/experiments and EXPERIMENTS.md).
+	LoadScale float64
+	// BroadcastFraction is the mixed broadcast share (default 0.10).
+	BroadcastFraction float64
+	// BatchSize, Batches, Warmup configure the mixed batch-means
+	// estimator (default 100×21, first discarded).
+	BatchSize, Batches, Warmup int
+	// MaxTime bounds each mixed run in simulated µs (0 = driver
+	// default).
+	MaxTime sim.Time
+	// MaxInjected bounds the injected messages per mixed run (0 =
+	// 10× the measured window, 3× on meshes above 1024 nodes).
+	MaxInjected int
+
+	// Reps is the replication count: replications per point
+	// (uncontended), measured broadcasts per study (contended).
+	// Default 40; the ablations register 10.
+	Reps int
+	// Seed drives all randomness; replication i of any cell draws
+	// from sim.Substream(Seed, i), so output is independent of Procs.
+	Seed uint64
+	// Procs caps the worker count; 0 means one worker per core.
+	Procs int
+	// Progress, when non-nil, receives (done, total) completed-job
+	// counts as the run advances. Calls are serialised.
+	Progress func(done, total int)
+}
+
+// Option mutates a Spec; the facade's functional options (WithMesh,
+// WithReps, …) and Build compose them over a registered base spec.
+type Option func(*Spec)
+
+// applyDefaults fills every unset knob with the workload's paper
+// default, returning the resolved copy Run executes.
+func (s Spec) applyDefaults() Spec {
+	if s.Workload == "" {
+		s.Workload = Uncontended
+	}
+	if s.Axis == "" {
+		if s.Workload == Mixed {
+			s.Axis = AxisLoad
+		} else {
+			s.Axis = AxisSize
+		}
+	}
+	if s.Name == "" {
+		s.Name = string(s.Workload)
+	}
+	if s.ID == "" {
+		s.ID = s.Name
+	}
+	if s.Artifact == "" {
+		s.Artifact = ArtifactFigure
+	}
+	if s.Topo == "" {
+		s.Topo = TopoMesh
+	}
+	if s.Algorithms == nil {
+		s.Algorithms = []string{"RD", "EDN", "DB", "AB"}
+	}
+	if s.Axis == AxisSubstrate && s.Substrates == nil {
+		s.Substrates = []string{"west-first", "odd-even", "dor"}
+	}
+	if s.Ts == 0 {
+		s.Ts = 1.5
+	}
+	if s.Metric == "" {
+		s.Metric = MetricCV
+	}
+	if s.Length == 0 {
+		switch s.Workload {
+		case Contended:
+			s.Length = 64
+		case Mixed:
+			s.Length = 32
+		default:
+			s.Length = 100
+		}
+	}
+	if s.Reps == 0 {
+		s.Reps = 40
+	}
+	if s.Axis == AxisSize && s.Sizes == nil {
+		switch s.Workload {
+		case Contended:
+			s.Sizes = [][]int{{4, 4, 4}, {4, 4, 16}, {8, 8, 8}, {8, 8, 16}}
+		default:
+			s.Sizes = [][]int{{4, 4, 4}, {8, 8, 8}, {10, 10, 10}, {16, 16, 16}}
+		}
+	}
+	if s.Axis != AxisSize && s.Dims == nil {
+		s.Dims = []int{8, 8, 8}
+	}
+	if s.Workload == Contended && s.Interarrival == 0 {
+		s.Interarrival = 5
+	}
+	if s.Workload == Mixed {
+		if s.Axis == AxisLoad && s.Xs == nil {
+			s.Xs = []float64{0.005, 0.006, 0.01, 0.02, 0.025, 0.03, 0.05}
+		}
+		if s.LoadScale == 0 {
+			s.LoadScale = 320
+		}
+		if s.BroadcastFraction == 0 {
+			s.BroadcastFraction = 0.10
+		}
+		if s.BatchSize == 0 {
+			s.BatchSize = 100
+		}
+		if s.Batches == 0 {
+			s.Batches = 21
+			s.Warmup = 1
+		}
+	}
+	return s
+}
+
+// validate rejects specs Run cannot execute. It runs after
+// applyDefaults, so only genuinely contradictory specs fail.
+func (s *Spec) validate() error {
+	switch s.Workload {
+	case Uncontended, Contended, Mixed:
+	default:
+		return fmt.Errorf("scenario %s: unknown workload %q", s.Name, s.Workload)
+	}
+	valid := map[Workload][]Axis{
+		Uncontended: {AxisSize, AxisLength, AxisHopDelay, AxisPorts, AxisTs, AxisSubstrate},
+		Contended:   {AxisSize, AxisInterarrival},
+		Mixed:       {AxisLoad},
+	}
+	ok := false
+	for _, a := range valid[s.Workload] {
+		if a == s.Axis {
+			ok = true
+		}
+	}
+	if !ok {
+		return fmt.Errorf("scenario %s: axis %q is not valid for the %s workload", s.Name, s.Axis, s.Workload)
+	}
+	if s.Topo != TopoMesh && s.Topo != TopoTorus {
+		return fmt.Errorf("scenario %s: unknown topology kind %q", s.Name, s.Topo)
+	}
+	if s.Axis == AxisSize {
+		if len(s.Sizes) == 0 {
+			return fmt.Errorf("scenario %s: size axis with no sizes", s.Name)
+		}
+	} else if len(s.Xs) == 0 && s.Axis != AxisSubstrate {
+		return fmt.Errorf("scenario %s: axis %q with no sweep values", s.Name, s.Axis)
+	}
+	if len(s.Algorithms) == 0 {
+		return fmt.Errorf("scenario %s: no algorithms", s.Name)
+	}
+	if _, err := algorithmsFor(s.Algorithms); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if s.Axis == AxisSubstrate {
+		if len(s.Algorithms) != 1 {
+			return fmt.Errorf("scenario %s: the substrate axis compares substrates under ONE algorithm, got %v",
+				s.Name, s.Algorithms)
+		}
+		for _, sub := range s.Substrates {
+			switch sub {
+			case "west-first", "odd-even", "dor":
+			default:
+				return fmt.Errorf("scenario %s: unknown substrate %q", s.Name, sub)
+			}
+		}
+	}
+	if s.Reps <= 0 {
+		return fmt.Errorf("scenario %s: non-positive replication count %d", s.Name, s.Reps)
+	}
+	switch s.Artifact {
+	case ArtifactFigure:
+	case ArtifactTable1, ArtifactTable2:
+		if s.Workload != Contended {
+			return fmt.Errorf("scenario %s: artifact %q needs the contended workload", s.Name, s.Artifact)
+		}
+		// The table projections compare the paper's proposed
+		// algorithms against its baselines; without all four the run
+		// would produce no tables and the artifact would be empty.
+		have := map[string]bool{}
+		for _, a := range s.Algorithms {
+			have[a] = true
+		}
+		for _, need := range []string{"RD", "EDN", "DB", "AB"} {
+			if !have[need] {
+				return fmt.Errorf("scenario %s: artifact %q needs algorithms RD, EDN, DB and AB, got %v",
+					s.Name, s.Artifact, s.Algorithms)
+			}
+		}
+	default:
+		return fmt.Errorf("scenario %s: unknown artifact %q", s.Name, s.Artifact)
+	}
+	return nil
+}
+
+// buildTopo constructs the topology for one set of dims.
+func (s *Spec) buildTopo(dims []int) *topology.Mesh {
+	if s.Topo == TopoTorus {
+		return topology.NewTorus(dims...)
+	}
+	return topology.NewMesh(dims...)
+}
+
+// headings derives the legacy title and axis labels for the resolved
+// spec on topology m (the fixed topology, or nil for size sweeps),
+// honouring explicit overrides. The derived strings are byte-for-byte
+// the ones the pre-redesign drivers printed.
+func (s *Spec) headings(m *topology.Mesh) (title, xlabel, ylabel string) {
+	title, xlabel, ylabel = s.Title, s.XLabel, s.YLabel
+	name := ""
+	if m != nil {
+		name = m.Name()
+	}
+	var dTitle, dX, dY string
+	switch s.Workload {
+	case Uncontended:
+		dY = "latency (µs)"
+		switch s.Axis {
+		case AxisSize:
+			dTitle = fmt.Sprintf("Broadcast latency vs network size (L=%d flits, Ts=%g µs)", s.Length, s.Ts)
+			dX = "nodes"
+		case AxisLength:
+			dTitle = fmt.Sprintf("Broadcast latency vs message length on %s", name)
+			dX = "flits"
+		case AxisHopDelay:
+			dTitle = fmt.Sprintf("Broadcast latency vs header hop delay on %s (L=%d)", name, s.Length)
+			dX = "hop delay (µs)"
+		case AxisPorts:
+			dTitle = fmt.Sprintf("Broadcast latency vs injection ports on %s (L=%d)", name, s.Length)
+			dX = "ports"
+		case AxisTs:
+			dTitle = fmt.Sprintf("Broadcast latency vs startup latency on %s (L=%d)", name, s.Length)
+			dX = "Ts (µs)"
+		case AxisSubstrate:
+			dTitle = fmt.Sprintf("%s latency by routing substrate on %s (L=%d)", s.Algorithms[0], name, s.Length)
+			dX = "replication"
+		}
+	case Contended:
+		if s.Metric == MetricLatency {
+			dY = "latency (µs)"
+		} else {
+			dY = "CV"
+		}
+		switch s.Axis {
+		case AxisSize:
+			if s.Metric == MetricLatency {
+				dTitle = fmt.Sprintf("Mean broadcast latency vs network size (L=%d, Ts=%g µs)", s.Length, s.Ts)
+			} else {
+				dTitle = fmt.Sprintf("Coefficient of variation of arrival times vs network size (L=%d, Ts=%g µs)", s.Length, s.Ts)
+			}
+			dX = "nodes"
+		case AxisInterarrival:
+			dTitle = fmt.Sprintf("Broadcast performance vs injection gap on %s (L=%d, Ts=%g µs)", name, s.Length, s.Ts)
+			dX = "interarrival (µs)"
+		}
+	case Mixed:
+		dTitle = fmt.Sprintf("Mean latency vs traffic load on %s (L=%d flits, %g%% unicast / %g%% broadcast)",
+			name, s.Length, 100*(1-s.BroadcastFraction), 100*s.BroadcastFraction)
+		dX = "load (msg/ms)"
+		dY = "latency (µs)"
+	}
+	if title == "" {
+		title = dTitle
+	}
+	if xlabel == "" {
+		xlabel = dX
+	}
+	if ylabel == "" {
+		ylabel = dY
+	}
+	return title, xlabel, ylabel
+}

@@ -65,6 +65,19 @@ type MixedConfig struct {
 	MaxInjected int
 }
 
+// DefaultMaxInjected returns the injected-message cap the mixed-
+// traffic drivers use when the caller sets none: 10× the measured
+// window, dropping to 3× on meshes above 1024 nodes — a saturated RD
+// point on 16×16×8 otherwise simulates millions of worms for no
+// extra information. Shared by the scenario run loop and the legacy
+// Fig. 3/4 driver so both cut saturated runs at the same place.
+func DefaultMaxInjected(nodes, window int) int {
+	if nodes > 1024 {
+		return 3 * window
+	}
+	return 10 * window
+}
+
 // MixedResult reports a mixed-traffic run.
 type MixedResult struct {
 	// MeanLatency is the batch-means point estimate of message

@@ -24,12 +24,16 @@
 package wormsim
 
 import (
+	"context"
+
 	"repro/internal/broadcast"
 	"repro/internal/experiments"
+	"repro/internal/export"
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/routing"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -237,6 +241,121 @@ func RunMixed(m *Mesh, cfg MixedConfig) (*MixedResult, error) {
 	return traffic.RunMixed(m, cfg)
 }
 
+// Scenario API: one declarative spec, a registry of every experiment,
+// and one run loop. This is how new code runs studies; the per-figure
+// config types below are kept as deprecated wrappers.
+type (
+	// Scenario is the declarative spec of one experiment: topology,
+	// algorithm set, workload, sweep axis, replication and
+	// orchestration knobs.
+	Scenario = scenario.Spec
+	// ScenarioOption customises a registered scenario (WithMesh,
+	// WithReps, …).
+	ScenarioOption = scenario.Option
+	// ScenarioResult carries a run's figure and, for contended runs
+	// over the paper's four algorithms, the Table 1–2 projections.
+	ScenarioResult = scenario.Result
+	// ScenarioSink receives finished results (text, JSON, CSV).
+	ScenarioSink = scenario.Sink
+	// Workload selects a scenario's traffic pattern.
+	Workload = scenario.Workload
+	// Axis selects what a scenario sweeps.
+	Axis = scenario.Axis
+)
+
+// NewScenario builds a registered scenario by name with the given
+// options applied:
+//
+//	spec, err := wormsim.NewScenario("fig2", wormsim.WithMesh(16, 16, 8), wormsim.WithReps(40))
+//	res, err := wormsim.Run(ctx, spec)
+//
+// Scenarios() lists the available names.
+func NewScenario(name string, opts ...ScenarioOption) (Scenario, error) {
+	return scenario.Build(name, opts...)
+}
+
+// Run executes a scenario spec: it fans the workload's independent
+// simulations out over a worker pool (Spec.Procs, 0 = all cores),
+// honours ctx cancellation, and aggregates in replication order, so
+// output is bit-identical for any worker count.
+func Run(ctx context.Context, spec Scenario) (*ScenarioResult, error) {
+	return scenario.Run(ctx, spec)
+}
+
+// RunScenario is NewScenario followed by Run.
+func RunScenario(ctx context.Context, name string, opts ...ScenarioOption) (*ScenarioResult, error) {
+	spec, err := scenario.Build(name, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return scenario.Run(ctx, spec)
+}
+
+// RunScenarioTo is RunScenario streaming the result into sinks.
+func RunScenarioTo(ctx context.Context, name string, sinks []ScenarioSink, opts ...ScenarioOption) (*ScenarioResult, error) {
+	spec, err := scenario.Build(name, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return scenario.RunTo(ctx, spec, sinks...)
+}
+
+// Scenarios returns every registered scenario name, sorted. Register
+// adds one.
+func Scenarios() []string { return scenario.Names() }
+
+// RegisterScenario adds a named scenario to the process-wide
+// registry, making it runnable by name here and in cmd/sweep.
+func RegisterScenario(name, summary string, spec func() Scenario) {
+	scenario.Register(scenario.Definition{Name: name, Summary: summary, New: spec})
+}
+
+// Functional options for NewScenario.
+var (
+	// WithMesh fixes the scenario to one topology shape.
+	WithMesh = scenario.WithMesh
+	// WithSizes replaces a size-axis sweep's shapes.
+	WithSizes = scenario.WithSizes
+	// WithTopology selects "mesh" or "torus".
+	WithTopology = scenario.WithTopology
+	// WithAlgorithms replaces the algorithm set (RD, EDN, DB, AB).
+	WithAlgorithms = scenario.WithAlgorithms
+	// WithReps sets the replication count (<= 0 keeps the default).
+	WithReps = scenario.WithReps
+	// WithSeed sets the root random seed.
+	WithSeed = scenario.WithSeed
+	// WithProcs caps the worker count (0 = one per core).
+	WithProcs = scenario.WithProcs
+	// WithProgress wires a live (done, total) reporter.
+	WithProgress = scenario.WithProgress
+	// WithLength sets the message length in flits.
+	WithLength = scenario.WithLength
+	// WithTs sets the startup latency in µs.
+	WithTs = scenario.WithTs
+	// WithXs replaces the scalar sweep values of the spec's axis.
+	WithXs = scenario.WithXs
+	// WithLoads replaces a mixed scenario's offered-load sweep.
+	WithLoads = scenario.WithLoads
+	// WithLoadScale sets the mixed injected-rate multiplier.
+	WithLoadScale = scenario.WithLoadScale
+	// WithBatches configures the mixed batch-means estimator.
+	WithBatches = scenario.WithBatches
+	// WithInterarrival sets the contended mean injection gap in µs.
+	WithInterarrival = scenario.WithInterarrival
+	// WithMetric selects the contended y value ("cv" or "latency").
+	WithMetric = scenario.WithMetric
+)
+
+// NewTextSink returns a sink rendering results in the paper's
+// aligned-table layout.
+var NewTextSink = scenario.NewTextSink
+
+// NewJSONSink returns a sink emitting results as indented JSON.
+var NewJSONSink = scenario.NewJSONSink
+
+// NewCSVSink returns a sink writing the primary artifact as CSV.
+var NewCSVSink = export.NewCSVSink
+
 // Paper experiments.
 type (
 	// Figure is a reproduced paper figure.
@@ -252,26 +371,39 @@ type (
 )
 
 // Fig1 reproduces Fig. 1 (latency vs network size).
+//
+// Deprecated: use RunScenario(ctx, "fig1", ...).
 func Fig1(cfg Fig1Config) (*Figure, error) { return experiments.Fig1(cfg) }
 
 // Fig1StartupLatency reproduces §3.1's Ts=0.15 µs sensitivity sweep.
+//
+// Deprecated: use RunScenario(ctx, "fig1b", ...).
 func Fig1StartupLatency(cfg Fig1Config) (*Figure, error) {
 	return experiments.Fig1StartupLatency(cfg)
 }
 
 // Fig2 reproduces Fig. 2 (arrival-time CV vs network size).
+//
+// Deprecated: use RunScenario(ctx, "fig2", ...).
 func Fig2(cfg Fig2Config) (*Figure, error) { return experiments.Fig2(cfg) }
 
 // Tables reproduces Tables 1 and 2 (CV and improvement percentages).
+//
+// Deprecated: use RunScenario(ctx, "fig2", ...); the result carries
+// both tables.
 func Tables(cfg Fig2Config) (*CVTable, *CVTable, error) { return experiments.Tables(cfg) }
 
 // Fig2AndTables computes the shared (algorithm, mesh) study grid once
-// and projects it into Fig. 2 and Tables 1–2 — half the simulation
-// cost of calling Fig2 and Tables separately.
+// and projects it into Fig. 2 and Tables 1–2.
+//
+// Deprecated: use RunScenario(ctx, "fig2", ...); every contended run
+// carries the figure and both tables from one grid.
 func Fig2AndTables(cfg Fig2Config) (*Figure, *CVTable, *CVTable, error) {
 	return experiments.Fig2AndTables(cfg)
 }
 
 // Fig34 reproduces Fig. 3 (8×8×8) or Fig. 4 (16×16×8) mixed-traffic
 // latency curves, selected by cfg.Dims.
+//
+// Deprecated: use RunScenario(ctx, "fig3" / "fig4", ...).
 func Fig34(cfg Fig34Config) (*Figure, error) { return experiments.Fig34(cfg) }

@@ -1,6 +1,8 @@
 package wormsim_test
 
 import (
+	"context"
+	"strings"
 	"testing"
 
 	"repro"
@@ -134,5 +136,51 @@ func TestFacadeStudies(t *testing.T) {
 	}
 	if mr.MeanLatency <= 0 {
 		t.Errorf("mixed latency = %v", mr.MeanLatency)
+	}
+}
+
+// TestScenarioFacade exercises the scenario API end to end: registry
+// listing, option-driven spec construction, the one run loop, and the
+// sinks — the way the README's "Scenario API" section does.
+func TestScenarioFacade(t *testing.T) {
+	names := wormsim.Scenarios()
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	for _, want := range []string{"fig1", "fig1b", "fig2", "fig3", "fig4", "table1", "table2",
+		"ablation-length", "ablation-hop", "ablation-substrate", "ablation-ports"} {
+		if !found[want] {
+			t.Errorf("registry is missing %q (have %v)", want, names)
+		}
+	}
+
+	spec, err := wormsim.NewScenario("fig2",
+		wormsim.WithMesh(4, 4, 4), wormsim.WithReps(5), wormsim.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text, csv strings.Builder
+	res, err := wormsim.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wormsim.NewTextSink(&text).Emit(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := wormsim.NewCSVSink(&csv).Emit(res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(text.String(), "Fig.2: ") {
+		t.Errorf("text sink output %q", text.String())
+	}
+	if !strings.HasPrefix(csv.String(), "figure,series,nodes,CV") {
+		t.Errorf("csv sink header %q", strings.SplitN(csv.String(), "\n", 2)[0])
+	}
+	if res.Table1 == nil || res.Table2 == nil {
+		t.Error("contended scenario result missing table projections")
+	}
+	if len(res.Figure.Series) != 4 {
+		t.Errorf("figure has %d series, want 4", len(res.Figure.Series))
 	}
 }
