@@ -121,6 +121,36 @@ func BenchmarkFig2Saturation(b *testing.B) {
 	}
 }
 
+// BenchmarkFig2SaturationCalendar runs the saturation workload under
+// each event-calendar implementation (the default ladder queue and
+// the legacy binary heap) so the kernel data structures can be
+// compared head to head: identical simulation, identical events/op,
+// different events/sec. The committed heap-vs-ladder numbers live in
+// BENCH_pr4.json (see cmd/paperbench -benchjson/-calendar).
+func BenchmarkFig2SaturationCalendar(b *testing.B) {
+	defer wormsim.SetDefaultCalendar(wormsim.CalendarLadder)
+	m := wormsim.NewMesh(wormsim.SaturationDims()...)
+	for _, cal := range []wormsim.Calendar{wormsim.CalendarHeap, wormsim.CalendarLadder} {
+		for _, algo := range wormsim.Algorithms() {
+			b.Run(fmt.Sprintf("%s/%s", cal, algo.Name()), func(b *testing.B) {
+				wormsim.SetDefaultCalendar(cal)
+				b.ReportAllocs()
+				var events uint64
+				for i := 0; i < b.N; i++ {
+					st, err := wormsim.ContendedCVStudy(m, algo, wormsim.SaturationConfig(2005))
+					if err != nil {
+						b.Fatal(err)
+					}
+					events = st.Events
+				}
+				if s := b.Elapsed().Seconds(); s > 0 {
+					b.ReportMetric(float64(events)*float64(b.N)/s, "events/sec")
+				}
+			})
+		}
+	}
+}
+
 // benchImprovement measures the paper's Tables 1/2 improvement metric
 // of a proposed algorithm over a baseline at one mesh size.
 func benchImprovement(b *testing.B, dims []int, proposed, baseline wormsim.Algorithm) {

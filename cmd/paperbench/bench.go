@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -46,23 +47,30 @@ type benchResult struct {
 	MeanCV float64 `json:"mean_cv"`
 }
 
-// benchPhase is one measurement pass (e.g. "baseline", "optimized").
+// benchPhase is one measurement pass (e.g. "heap", "ladder").
 type benchPhase struct {
 	Recorded  string        `json:"recorded"`
 	GoVersion string        `json:"go_version"`
+	Calendar  string        `json:"calendar,omitempty"`
 	Results   []benchResult `json:"results"`
 }
 
-// benchSummary compares the optimized phase against the baseline.
+// benchSummary compares two phases of one artifact: "heap" vs
+// "ladder" when both are present, else "baseline" vs "optimized".
 type benchSummary struct {
+	// Compared names the [from, to] phases the summary covers.
+	Compared []string `json:"compared,omitempty"`
 	// AllocsReductionPct is the overall percentage reduction in
-	// allocs/op (summed across algorithms), optimized vs baseline.
+	// allocs/op (summed across algorithms), to-phase vs from-phase.
 	AllocsReductionPct float64 `json:"allocs_reduction_pct"`
-	// NsRatio is total optimized ns/op over total baseline ns/op;
+	// NsRatio is total to-phase ns/op over total from-phase ns/op;
 	// below 1 is a speedup.
 	NsRatio float64 `json:"ns_ratio"`
 	// PerAlgorithm maps algorithm name to its allocs/op reduction %.
 	PerAlgorithm map[string]float64 `json:"per_algorithm_allocs_reduction_pct"`
+	// PerAlgorithmEventsSpeedup maps algorithm name to the to-phase
+	// events/sec over the from-phase events/sec (above 1 is faster).
+	PerAlgorithmEventsSpeedup map[string]float64 `json:"per_algorithm_events_speedup,omitempty"`
 }
 
 // benchFile is the whole BENCH_*.json artifact.
@@ -90,19 +98,39 @@ func runBenchJSON(path, phase, benchtime string) error {
 		}
 	}
 
-	file := &benchFile{Schema: benchSchema, Phases: map[string]*benchPhase{}}
-	if raw, err := os.ReadFile(path); err == nil {
-		if err := json.Unmarshal(raw, file); err != nil {
-			return fmt.Errorf("paperbench: %s exists but is not a bench artifact: %v", path, err)
+	// A phase named after a calendar must be measured on that
+	// calendar: a mislabeled phase would silently corrupt the
+	// heap-vs-ladder summary and the regression guard.
+	activeCal := wormsim.DefaultCalendar().String()
+	for _, known := range []string{"heap", "ladder"} {
+		if phase == known && activeCal != known {
+			return fmt.Errorf("paperbench: -benchphase %s but -calendar %s; pass -calendar %s (or rename the phase)",
+				phase, activeCal, known)
 		}
-		if file.Schema != benchSchema {
-			return fmt.Errorf("paperbench: %s has schema %q, want %q", path, file.Schema, benchSchema)
-		}
-		if file.Phases == nil {
-			file.Phases = map[string]*benchPhase{}
-		}
-	} else if !os.IsNotExist(err) {
+	}
+
+	file, err := loadBenchFile(path)
+	switch {
+	case os.IsNotExist(err):
+		file = &benchFile{Schema: benchSchema}
+	case err != nil:
 		return err
+	}
+	if file.Phases == nil {
+		file.Phases = map[string]*benchPhase{}
+	}
+	// Same-kernel phase pairs must stay same-kernel: refuse to record
+	// a baseline/optimized phase on a different calendar than its
+	// already-recorded partner — the summary would attribute the
+	// calendar's speedup to whatever the phase pair claims to measure.
+	for _, pair := range [][2]string{{"baseline", "optimized"}, {"optimized", "baseline"}} {
+		if phase != pair[0] {
+			continue
+		}
+		if partner := file.Phases[pair[1]]; partner != nil && partner.Calendar != "" && partner.Calendar != activeCal {
+			return fmt.Errorf("paperbench: phase %q was recorded on the %s calendar but -calendar is %s; the %s/%s pair must share a kernel",
+				pair[1], partner.Calendar, activeCal, pair[0], pair[1])
+		}
 	}
 
 	seed := uint64(2005)
@@ -131,6 +159,7 @@ func runBenchJSON(path, phase, benchtime string) error {
 	p := &benchPhase{
 		Recorded:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
+		Calendar:  activeCal,
 	}
 	for _, algo := range wormsim.Algorithms() {
 		var events uint64
@@ -167,7 +196,7 @@ func runBenchJSON(path, phase, benchtime string) error {
 			phase, res.Name, res.NsPerOp, res.AllocsPerOp, res.EventsPerSec)
 	}
 	file.Phases[phase] = p
-	file.Summary = summarize(file.Phases["baseline"], file.Phases["optimized"])
+	file.Summary = summarizeFile(file)
 
 	out, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
@@ -176,20 +205,51 @@ func runBenchJSON(path, phase, benchtime string) error {
 	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
-// summarize compares the two canonical phases; nil when either is
-// missing (e.g. a CI smoke artifact with only a "ci" phase).
-func summarize(baseline, optimized *benchPhase) *benchSummary {
-	if baseline == nil || optimized == nil {
+// summarizeFile picks the artifact's canonical phase pair — heap vs
+// ladder when both exist, else baseline vs optimized — and compares
+// them; nil when no pair is complete (e.g. a CI smoke artifact with
+// only a "ci" phase).
+func summarizeFile(file *benchFile) *benchSummary {
+	// A pair is only summarized when its phases' recorded calendars
+	// are coherent: heap/ladder phases must be measured on the
+	// calendar they are named after, and a baseline/optimized pair
+	// must share one kernel. (runBenchJSON refuses to record such
+	// artifacts; this guards hand-edited or merged ones.)
+	coherent := func(name string, p *benchPhase) bool {
+		return p != nil && ((name != "heap" && name != "ladder") || p.Calendar == "" || p.Calendar == name)
+	}
+	for _, pair := range [][2]string{{"heap", "ladder"}, {"baseline", "optimized"}} {
+		a, b := file.Phases[pair[0]], file.Phases[pair[1]]
+		if !coherent(pair[0], a) || !coherent(pair[1], b) {
+			continue
+		}
+		if pair[0] == "baseline" && a.Calendar != "" && b.Calendar != "" && a.Calendar != b.Calendar {
+			continue
+		}
+		if s := summarize(a, b); s != nil {
+			s.Compared = []string{pair[0], pair[1]}
+			return s
+		}
+	}
+	return nil
+}
+
+// summarize compares the to phase against the from phase.
+func summarize(from, to *benchPhase) *benchSummary {
+	if from == nil || to == nil {
 		return nil
 	}
 	base := map[string]benchResult{}
-	for _, r := range baseline.Results {
+	for _, r := range from.Results {
 		base[r.Name] = r
 	}
-	s := &benchSummary{PerAlgorithm: map[string]float64{}}
+	s := &benchSummary{
+		PerAlgorithm:              map[string]float64{},
+		PerAlgorithmEventsSpeedup: map[string]float64{},
+	}
 	var baseAllocs, optAllocs int64
 	var baseNs, optNs float64
-	for _, r := range optimized.Results {
+	for _, r := range to.Results {
 		b, ok := base[r.Name]
 		if !ok {
 			continue
@@ -201,6 +261,9 @@ func summarize(baseline, optimized *benchPhase) *benchSummary {
 		if b.AllocsPerOp > 0 {
 			s.PerAlgorithm[r.Name] = 100 * float64(b.AllocsPerOp-r.AllocsPerOp) / float64(b.AllocsPerOp)
 		}
+		if b.EventsPerSec > 0 {
+			s.PerAlgorithmEventsSpeedup[r.Name] = r.EventsPerSec / b.EventsPerSec
+		}
 	}
 	if baseAllocs > 0 {
 		s.AllocsReductionPct = 100 * float64(baseAllocs-optAllocs) / float64(baseAllocs)
@@ -209,4 +272,102 @@ func summarize(baseline, optimized *benchPhase) *benchSummary {
 		s.NsRatio = optNs / baseNs
 	}
 	return s
+}
+
+// guardPhases orders phase labels from most to least preferred when
+// picking an artifact's representative (best-engineered) phase.
+var guardPhases = []string{"ladder", "optimized", "baseline"}
+
+// loadBenchFile reads and schema-checks one bench artifact.
+func loadBenchFile(path string) (*benchFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	file := &benchFile{}
+	if err := json.Unmarshal(raw, file); err != nil {
+		return nil, fmt.Errorf("paperbench: %s is not a bench artifact: %v", path, err)
+	}
+	if file.Schema != benchSchema {
+		return nil, fmt.Errorf("paperbench: %s has schema %q, want %q", path, file.Schema, benchSchema)
+	}
+	return file, nil
+}
+
+// runBenchGuard is the CI regression gate: it compares the
+// representative phase of the artifact at newPath against the one at
+// basePath — no benchmarks are run, both artifacts are committed
+// measurements — and errors if any algorithm's events/sec dropped, or
+// allocs/op rose, beyond the relative tolerance.
+func runBenchGuard(newPath, basePath string, tol float64) error {
+	if basePath == "" {
+		return fmt.Errorf("paperbench: -benchguard needs -benchbaseline")
+	}
+	newFile, err := loadBenchFile(newPath)
+	if err != nil {
+		return err
+	}
+	baseFile, err := loadBenchFile(basePath)
+	if err != nil {
+		return err
+	}
+	oldW, _ := json.Marshal(baseFile.Workload)
+	newW, _ := json.Marshal(newFile.Workload)
+	if string(oldW) != string(newW) {
+		return fmt.Errorf("paperbench: workloads differ (%s vs %s); the artifacts are not comparable", oldW, newW)
+	}
+	pick := func(f *benchFile, path string) (string, *benchPhase, error) {
+		for _, name := range guardPhases {
+			if p := f.Phases[name]; p != nil {
+				return name, p, nil
+			}
+		}
+		return "", nil, fmt.Errorf("paperbench: %s has no phase among %v", path, guardPhases)
+	}
+	newName, newPhase, err := pick(newFile, newPath)
+	if err != nil {
+		return err
+	}
+	baseName, basePhase, err := pick(baseFile, basePath)
+	if err != nil {
+		return err
+	}
+	base := map[string]benchResult{}
+	for _, r := range basePhase.Results {
+		base[r.Name] = r
+	}
+	fmt.Printf("bench guard: %s[%s] vs %s[%s], tolerance %.0f%%\n",
+		newPath, newName, basePath, baseName, 100*tol)
+	var failures []string
+	compared := 0
+	for _, r := range newPhase.Results {
+		b, ok := base[r.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		evRatio, alRatio := 0.0, 0.0
+		if b.EventsPerSec > 0 {
+			evRatio = r.EventsPerSec / b.EventsPerSec
+		}
+		if b.AllocsPerOp > 0 {
+			alRatio = float64(r.AllocsPerOp) / float64(b.AllocsPerOp)
+		}
+		fmt.Printf("  %-4s events/sec %11.0f -> %11.0f (%.2fx)   allocs/op %7d -> %7d (%.2fx)\n",
+			r.Name, b.EventsPerSec, r.EventsPerSec, evRatio, b.AllocsPerOp, r.AllocsPerOp, alRatio)
+		if r.EventsPerSec < b.EventsPerSec*(1-tol) {
+			failures = append(failures, fmt.Sprintf("%s events/sec regressed: %.0f -> %.0f", r.Name, b.EventsPerSec, r.EventsPerSec))
+		}
+		if float64(r.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tol) {
+			failures = append(failures, fmt.Sprintf("%s allocs/op regressed: %d -> %d", r.Name, b.AllocsPerOp, r.AllocsPerOp))
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("paperbench: no common algorithms between %s and %s", newPath, basePath)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("paperbench: bench guard failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("bench guard: ok (%d algorithms)\n", compared)
+	return nil
 }

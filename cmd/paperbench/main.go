@@ -10,6 +10,33 @@
 // up by name; this command only sequences them in the paper's order
 // and renders the results.
 //
+// The event-calendar knob (-calendar ladder|heap) selects the
+// simulation kernel's calendar for everything the command runs. The
+// ladder queue is the default; the legacy binary heap is kept for
+// cross-checking and for measuring the ladder's speedup. Output is
+// byte-identical either way — only wall time changes.
+//
+// Benchmark flags (the perf-trajectory workflow; see EXPERIMENTS.md):
+//
+//	-benchjson FILE    run the Fig. 2 saturation-load benchmark under
+//	                   all four algorithms and merge ns/op, allocs/op,
+//	                   B/op and events/sec into FILE (skips figures)
+//	-benchphase NAME   phase label recorded in FILE; pairs measured in
+//	                   one artifact get a computed summary ("heap" vs
+//	                   "ladder", or "baseline" vs "optimized")
+//	-benchtime D       per-algorithm duration, as for go test (1s, 5x)
+//	-benchguard FILE   offline regression gate: compare FILE's best
+//	                   phase against -benchbaseline's and fail if any
+//	                   algorithm lost events/sec or gained allocs/op
+//	                   beyond -benchtol (no benchmarks are run)
+//
+// The committed trajectory: BENCH_pr2.json (baseline vs optimized,
+// both on the heap) and BENCH_pr4.json (heap vs ladder), produced by
+//
+//	paperbench -benchjson BENCH_pr4.json -benchphase heap   -calendar heap
+//	paperbench -benchjson BENCH_pr4.json -benchphase ladder -calendar ladder
+//	paperbench -benchguard BENCH_pr4.json -benchbaseline BENCH_pr2.json
+//
 // Replications run in parallel on -procs workers (default: all
 // cores). Output is bit-identical for any -procs value and a fixed
 // -seed: per-replication randomness is derived from (seed,
@@ -28,6 +55,7 @@ import (
 	"strings"
 	"time"
 
+	"repro"
 	"repro/internal/export"
 	"repro/internal/scenario"
 )
@@ -44,12 +72,31 @@ func main() {
 		repsF    = flag.Int("reps", 0, "override replication count for the replicated figures (0 = default)")
 		progress = flag.Bool("progress", true, "report live progress on stderr")
 
-		benchJSON  = flag.String("benchjson", "", "run the saturation-load benchmark and merge results into this JSON artifact (skips the figures)")
-		benchPhase = flag.String("benchphase", "optimized", "phase label for -benchjson results (baseline, optimized, ci, ...)")
-		benchTime  = flag.String("benchtime", "", "benchmark duration per algorithm for -benchjson, as for go test (e.g. 1s, 5x); empty = testing default")
+		calName = flag.String("calendar", "ladder", "event calendar backing the simulation kernel: ladder or heap (byte-identical output, different speed)")
+
+		benchJSON     = flag.String("benchjson", "", "run the saturation-load benchmark and merge results into this JSON artifact (skips the figures)")
+		benchPhase    = flag.String("benchphase", "optimized", "phase label for -benchjson results (heap, ladder, baseline, optimized, ci, ...)")
+		benchTime     = flag.String("benchtime", "", "benchmark duration per algorithm for -benchjson, as for go test (e.g. 1s, 5x); empty = testing default")
+		benchGuard    = flag.String("benchguard", "", "compare this bench artifact against -benchbaseline and exit nonzero on regression (offline; skips the figures)")
+		benchBaseline = flag.String("benchbaseline", "", "baseline bench artifact for -benchguard")
+		benchTol      = flag.Float64("benchtol", 0.05, "relative tolerance for -benchguard (0.05 = 5%)")
 	)
 	flag.Parse()
 
+	cal, err := wormsim.ParseCalendar(*calName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+		os.Exit(1)
+	}
+	wormsim.SetDefaultCalendar(cal)
+
+	if *benchGuard != "" {
+		if err := runBenchGuard(*benchGuard, *benchBaseline, *benchTol); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON, *benchPhase, *benchTime); err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)

@@ -5,6 +5,12 @@
 //	sweep -what fig1 > fig1.csv
 //	sweep -what ablation-length -mesh 8x8x8 -o length.csv
 //	sweep -what fig2-torus -seed 7
+//	sweep -what fig2 -calendar heap           # legacy-calendar cross-check
+//
+// The -calendar flag selects the simulation kernel's event calendar
+// (ladder, the default, or the legacy binary heap). Output is
+// byte-identical either way — the knob exists for cross-checking and
+// for measuring kernel speed, see cmd/paperbench's bench flags.
 //
 // The scenario names come from the process-wide registry
 // (internal/scenario); registering a new scenario makes it runnable
@@ -26,6 +32,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro"
 	"repro/internal/export"
 	"repro/internal/scenario"
 )
@@ -38,8 +45,15 @@ func main() {
 		seed     = flag.Uint64("seed", 2005, "random seed")
 		out      = flag.String("o", "", "output file (default stdout)")
 		procs    = flag.Int("procs", 0, "max parallel replications (0 = all cores); output is identical for any value")
+		calName  = flag.String("calendar", "ladder", "event calendar backing the simulation kernel: ladder or heap (byte-identical output, different speed)")
 	)
 	flag.Parse()
+
+	cal, err := wormsim.ParseCalendar(*calName)
+	if err != nil {
+		fatal(err)
+	}
+	wormsim.SetDefaultCalendar(cal)
 
 	name := strings.ToLower(*what)
 	if name == "list" {

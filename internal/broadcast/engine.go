@@ -97,6 +97,9 @@ func Execute(net *network.Network, plan *Plan, opt Options) (*Result, error) {
 
 	var deliver func(node topology.NodeID, at sim.Time)
 	trigger := func(node topology.NodeID, at sim.Time) {
+		if int(node) >= len(bySource) {
+			return // node injects nothing
+		}
 		for _, s := range bySource[node] {
 			sel := routing.Selector(nil)
 			if s.Adaptive {

@@ -46,8 +46,10 @@ type Plan struct {
 	// step — the order the node's ports serialise them in. A plan is
 	// executed many times under contended and mixed workloads, so the
 	// grouping is computed once (in Validate, or lazily on first
-	// Execute) and shared read-only by every execution.
-	bySource map[topology.NodeID][]Send
+	// Execute) and shared read-only by every execution. Indexed by
+	// node id (dense, so a slice beats a map lookup on the delivery
+	// hot path); nodes that inject nothing hold nil.
+	bySource [][]Send
 }
 
 // sendsBySourceStep stable-sorts sends by (source, step); within one
@@ -65,17 +67,83 @@ func (s sendsBySourceStep) Less(i, j int) bool {
 	return s[i].Step < s[j].Step
 }
 
+// sendsByStep stable-sorts sends by step only, preserving plan order
+// within a step — the causal-order walk Validate makes. A concrete
+// sort.Interface keeps reflect's Swapper and its typed memmoves out
+// of the per-plan path (stable sort output is unique, so the order is
+// identical to the sort.SliceStable it replaces). It is the fallback
+// for countingSortSends when a plan carries wild step values.
+type sendsByStep []Send
+
+func (s sendsByStep) Len() int           { return len(s) }
+func (s sendsByStep) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+func (s sendsByStep) Less(i, j int) bool { return s[i].Step < s[j].Step }
+
+// countingSortSends stable-sorts src into dst (same length, distinct
+// backing) by the integer key, using a counting scatter: steps and
+// node ids are small dense integers, so one O(n+k) pass replaces
+// sort.Stable's O(n log² n) symMerge on the per-plan path. Stable
+// sort output is unique, so the order is identical to sort.Stable's.
+// It reports false — dst untouched — when the key range is too wide
+// for counting to pay (only pathological hand-built plans).
+func countingSortSends(dst, src []Send, key func(*Send) int) bool {
+	if len(src) == 0 {
+		return true
+	}
+	lo, hi := key(&src[0]), key(&src[0])
+	for i := 1; i < len(src); i++ {
+		k := key(&src[i])
+		if k < lo {
+			lo = k
+		} else if k > hi {
+			hi = k
+		}
+	}
+	width := hi - lo + 1
+	if width < 0 || width > 8*len(src)+1024 {
+		return false
+	}
+	counts := make([]int, width+1)
+	for i := range src {
+		counts[key(&src[i])-lo+1]++
+	}
+	for k := 1; k < len(counts); k++ {
+		counts[k] += counts[k-1]
+	}
+	for i := range src {
+		k := key(&src[i]) - lo
+		dst[counts[k]] = src[i]
+		counts[k]++
+	}
+	return true
+}
+
+func stepKey(s *Send) int   { return s.Step }
+func sourceKey(s *Send) int { return int(s.Path.Source) }
+
 // sendIndex returns the per-source step-sorted send grouping,
-// building it on first use: one sorted backing array, with the map
+// building it on first use: one sorted backing array, with the index
 // slicing windows out of it. Not safe for concurrent first call;
 // executions on one network are single-threaded by design, and
 // parallel replications build their own plans.
-func (p *Plan) sendIndex() map[topology.NodeID][]Send {
+func (p *Plan) sendIndex() [][]Send {
 	if p.bySource == nil {
-		sorted := make(sendsBySourceStep, len(p.Sends))
-		copy(sorted, p.Sends)
-		sort.Stable(sorted)
-		idx := make(map[topology.NodeID][]Send)
+		// Stable LSD sort by (source, step): scatter by the minor key,
+		// then by the major one; fall back to comparison sorting for
+		// key ranges counting cannot cover.
+		sorted := make([]Send, len(p.Sends))
+		tmp := make([]Send, len(p.Sends))
+		if !countingSortSends(tmp, p.Sends, stepKey) || !countingSortSends(sorted, tmp, sourceKey) {
+			copy(sorted, p.Sends)
+			sort.Stable(sendsBySourceStep(sorted))
+		}
+		maxSrc := p.Source
+		for i := range sorted {
+			if s := sorted[i].Path.Source; s > maxSrc {
+				maxSrc = s
+			}
+		}
+		idx := make([][]Send, int(maxSrc)+1)
 		for lo := 0; lo < len(sorted); {
 			hi := lo + 1
 			src := sorted[lo].Path.Source
@@ -115,8 +183,11 @@ func (p *Plan) Validate(m *topology.Mesh) error {
 	}
 	informedAt[p.Source] = 0
 
-	sends := append([]Send(nil), p.Sends...)
-	sort.SliceStable(sends, func(i, j int) bool { return sends[i].Step < sends[j].Step })
+	sends := make([]Send, len(p.Sends))
+	if !countingSortSends(sends, p.Sends, stepKey) {
+		copy(sends, p.Sends)
+		sort.Stable(sendsByStep(sends))
+	}
 
 	for _, s := range sends {
 		if s.Step < 1 || s.Step > p.Steps {

@@ -98,7 +98,10 @@ type Network struct {
 	dor      routing.Selector
 	channels []channelState
 	ports    []portState
-	active   map[*worm]bool
+	// activeHead/activeCount track in-flight worms as an intrusive
+	// list in send order (O(1) add/remove, no hashing; see worm).
+	activeHead  *worm
+	activeCount int
 	injected uint64
 	finished uint64
 
@@ -145,7 +148,6 @@ func New(s *sim.Simulator, topo topology.Topology, cfg Config) (*Network, error)
 		cfg:       cfg,
 		channels:  make([]channelState, topo.ChannelSlots()),
 		ports:     make([]portState, topo.Nodes()),
-		active:    make(map[*worm]bool),
 		hop:       cfg.hopDelay(),
 		beta:      cfg.Beta,
 		nports:    cfg.ports(),
@@ -185,14 +187,38 @@ func (n *Network) Injected() uint64 { return n.injected }
 func (n *Network) Finished() uint64 { return n.finished }
 
 // InFlight returns the number of transfers accepted but not drained.
-func (n *Network) InFlight() int { return len(n.active) }
+func (n *Network) InFlight() int { return n.activeCount }
+
+// activeAdd pushes w onto the in-flight list.
+func (n *Network) activeAdd(w *worm) {
+	w.activeNext = n.activeHead
+	if n.activeHead != nil {
+		n.activeHead.activePrev = w
+	}
+	n.activeHead = w
+	n.activeCount++
+}
+
+// activeRemove unlinks w from the in-flight list.
+func (n *Network) activeRemove(w *worm) {
+	if w.activePrev != nil {
+		w.activePrev.activeNext = w.activeNext
+	} else {
+		n.activeHead = w.activeNext
+	}
+	if w.activeNext != nil {
+		w.activeNext.activePrev = w.activePrev
+	}
+	w.activePrev, w.activeNext = nil, nil
+	n.activeCount--
+}
 
 // Stuck returns descriptions of worms still in flight; useful for
 // diagnosing simulated deadlock when the calendar drains while
 // transfers remain.
 func (n *Network) Stuck() []string {
 	var out []string
-	for w := range n.active {
+	for w := n.activeHead; w != nil; w = w.activeNext {
 		out = append(out, w.describe())
 	}
 	return out

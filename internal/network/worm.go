@@ -32,6 +32,11 @@ type worm struct {
 	waiting topology.ChannelID   // channel whose queue the worm sits in, or -1
 	started sim.Time             // injection request time
 	portAt  sim.Time             // port grant time
+
+	// activePrev/activeNext thread the network's in-flight list: an
+	// intrusive doubly-linked list replaces the old map[*worm]bool,
+	// which paid a pointer hash on every send and every retirement.
+	activePrev, activeNext *worm
 }
 
 func (w *worm) describe() string {
@@ -76,6 +81,7 @@ func (n *Network) putWorm(w *worm) {
 	w.relCur, w.delCur = 0, 0
 	w.waiting = topology.InvalidChannel
 	w.started, w.portAt = 0, 0
+	w.activePrev, w.activeNext = nil, nil
 	n.wormFree = append(n.wormFree, w)
 }
 
@@ -112,7 +118,7 @@ func releasePortEvent(arg any) { w := arg.(*worm); w.net.releasePort(w.t.Source)
 func finishWorm(arg any) {
 	w := arg.(*worm)
 	n := w.net
-	delete(n.active, w)
+	n.activeRemove(w)
 	n.finished++
 	if w.t.OnDone != nil {
 		w.t.OnDone(n.sim.Now())
@@ -151,7 +157,7 @@ func (n *Network) Send(start sim.Time, t *Transfer) error {
 	w.waiting = topology.InvalidChannel
 	w.started = start
 	n.injected++
-	n.active[w] = true
+	n.activeAdd(w)
 	n.sim.AtCall(start, requestPortEvent, w)
 	return nil
 }

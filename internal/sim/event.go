@@ -34,6 +34,27 @@ type event struct {
 	arg any
 }
 
+// calendar is the event-calendar contract the simulator runs on: a
+// priority queue over (due, seq). Two implementations exist — the
+// default ladderQueue and the legacy eventQueue binary heap, kept as a
+// debugging reference — and they must drain any schedule in the same
+// order (pinned by the differential tests in ladder_test.go).
+type calendar interface {
+	Len() int
+	push(event)
+	pop() event
+	peek() event
+}
+
+// eventBefore reports whether a fires before b: earlier due first,
+// ties broken by scheduling order.
+func eventBefore(a, b *event) bool {
+	if a.due != b.due {
+		return a.due < b.due
+	}
+	return a.seq < b.seq
+}
+
 // eventQueue is a binary min-heap ordered by (due, seq).
 type eventQueue struct {
 	items []event
@@ -42,11 +63,7 @@ type eventQueue struct {
 func (q *eventQueue) Len() int { return len(q.items) }
 
 func (q *eventQueue) less(i, j int) bool {
-	a, b := &q.items[i], &q.items[j]
-	if a.due != b.due {
-		return a.due < b.due
-	}
-	return a.seq < b.seq
+	return eventBefore(&q.items[i], &q.items[j])
 }
 
 func (q *eventQueue) push(e event) {

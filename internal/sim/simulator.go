@@ -4,7 +4,62 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
+
+// Calendar selects the event-calendar implementation backing a
+// Simulator. The default is Ladder, the amortized-O(1) ladder queue;
+// Heap is the legacy O(log n) binary heap, kept as a debugging
+// reference. Both drain any schedule in the identical (due, seq)
+// order, so simulation output is byte-for-byte the same either way —
+// only throughput differs.
+type Calendar int
+
+const (
+	// Ladder is the multi-tier calendar queue (ladder.go): amortized
+	// O(1) push and pop, with an O(1) fast path for the same-instant
+	// event bursts wormhole hop timing produces. The default.
+	Ladder Calendar = iota
+	// Heap is the legacy binary-heap calendar (event.go): O(log n)
+	// sift per operation. Select it to cross-check a result or to
+	// measure the ladder's speedup.
+	Heap
+)
+
+// String returns the name used by CLI -calendar flags.
+func (c Calendar) String() string {
+	switch c {
+	case Ladder:
+		return "ladder"
+	case Heap:
+		return "heap"
+	}
+	return fmt.Sprintf("Calendar(%d)", int(c))
+}
+
+// ParseCalendar converts a CLI flag value ("ladder" or "heap") into a
+// Calendar.
+func ParseCalendar(name string) (Calendar, error) {
+	switch name {
+	case "ladder":
+		return Ladder, nil
+	case "heap":
+		return Heap, nil
+	}
+	return 0, fmt.Errorf("sim: unknown calendar %q (want ladder or heap)", name)
+}
+
+// defaultCalendar is the process-wide kind New uses. It exists so a
+// CLI flag can flip every simulator an experiment creates internally;
+// atomic because worker pools read it concurrently.
+var defaultCalendar atomic.Int32 // zero value == Ladder
+
+// SetDefaultCalendar selects the calendar New returns from now on.
+// Call it before starting a run, not during one.
+func SetDefaultCalendar(c Calendar) { defaultCalendar.Store(int32(c)) }
+
+// DefaultCalendar reports the calendar New currently uses.
+func DefaultCalendar() Calendar { return Calendar(defaultCalendar.Load()) }
 
 // ErrStalled is returned by RunUntil when the calendar empties before
 // the requested horizon. It usually means the workload stopped
@@ -15,17 +70,40 @@ var ErrStalled = errors.New("sim: event calendar empty before horizon")
 // The zero value is not usable; call New.
 type Simulator struct {
 	now     Time
-	queue   eventQueue
+	queue   calendar
+	lq      *ladderQueue // non-nil iff kind == Ladder: devirtualized hot path
+	kind    Calendar
 	nextSeq uint64
 	fired   uint64
 	limit   uint64 // safety valve; 0 means no limit
 	stopped bool
 }
 
-// New returns an empty simulator with the clock at zero.
+// New returns an empty simulator with the clock at zero, backed by the
+// process default calendar (see SetDefaultCalendar; Ladder unless
+// overridden).
 func New() *Simulator {
-	return &Simulator{}
+	return NewWithCalendar(DefaultCalendar())
 }
+
+// NewWithCalendar returns an empty simulator backed by the given
+// calendar implementation.
+func NewWithCalendar(c Calendar) *Simulator {
+	s := &Simulator{kind: c}
+	switch c {
+	case Ladder:
+		s.lq = newLadderQueue()
+		s.queue = s.lq
+	case Heap:
+		s.queue = &eventQueue{}
+	default:
+		panic(fmt.Sprintf("sim: unknown calendar %d", int(c)))
+	}
+	return s
+}
+
+// Calendar reports which calendar implementation backs the simulator.
+func (s *Simulator) Calendar() Calendar { return s.kind }
 
 // Now returns the current simulated time.
 func (s *Simulator) Now() Time { return s.now }
@@ -73,12 +151,20 @@ func (s *Simulator) AtCall(t Time, fn Func, arg any) {
 		panic("sim: schedule after Stop")
 	}
 	if t < s.now {
-		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+		// Like the schedule-after-Stop guard: a past-due event would
+		// execute after events scheduled for later times, silently
+		// corrupting causality, so it is named loudly instead.
+		panic(fmt.Sprintf("sim: scheduling into the past: t=%v is before now=%v", t, s.now))
 	}
 	if math.IsNaN(t) {
 		panic("sim: scheduling at NaN")
 	}
-	s.queue.push(event{due: t, seq: s.nextSeq, fn: fn, arg: arg})
+	e := event{due: t, seq: s.nextSeq, fn: fn, arg: arg}
+	if s.lq != nil {
+		s.lq.push(e)
+	} else {
+		s.queue.push(e)
+	}
 	s.nextSeq++
 }
 
@@ -107,10 +193,21 @@ func (s *Simulator) Stopped() bool { return s.stopped }
 // Step executes the earliest pending event, advancing the clock to its
 // due time. It reports whether an event was executed.
 func (s *Simulator) Step() bool {
-	if s.stopped || s.queue.Len() == 0 {
+	if s.stopped {
 		return false
 	}
-	e := s.queue.pop()
+	var e event
+	if s.lq != nil {
+		if s.lq.n == 0 {
+			return false
+		}
+		e = s.lq.pop()
+	} else {
+		if s.queue.Len() == 0 {
+			return false
+		}
+		e = s.queue.pop()
+	}
 	s.now = e.due
 	s.fired++
 	e.fn(e.arg)

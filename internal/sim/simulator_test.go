@@ -68,17 +68,36 @@ func TestNestedSchedulingDuringRun(t *testing.T) {
 	}
 }
 
+// TestSchedulingInPastPanics pins the past-scheduling guard for both
+// the closure (At) and record (AtCall) entry points on both
+// calendars: a t < now schedule would execute after later-scheduled
+// events, silently corrupting causality, so — like the
+// schedule-after-Stop guard — the kernel names the misuse instead.
+// The panic text is part of the contract.
 func TestSchedulingInPastPanics(t *testing.T) {
-	s := New()
-	s.At(10, func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("scheduling in the past did not panic")
+	for _, c := range []Calendar{Ladder, Heap} {
+		t.Run(c.String(), func(t *testing.T) {
+			s := NewWithCalendar(c)
+			ran := false
+			s.At(10, func() {
+				ran = true
+				mustPanicWith(t, "sim: scheduling into the past: t=5 is before now=10",
+					func() { s.At(5, func() {}) })
+				mustPanicWith(t, "sim: scheduling into the past: t=9.5 is before now=10",
+					func() { s.AtCall(9.5, func(any) {}, nil) })
+				// The boundary is inclusive: scheduling at exactly now
+				// is legal and fires after pending same-instant events.
+				s.AtCall(10, func(any) {}, nil)
+			})
+			s.Run()
+			if !ran {
+				t.Fatal("driver event never ran")
 			}
-		}()
-		s.At(5, func() {})
-	})
-	s.Run()
+			if s.Fired() != 2 {
+				t.Fatalf("fired %d events, want 2 (the at-now schedule must fire)", s.Fired())
+			}
+		})
+	}
 }
 
 func TestNegativeDelayPanics(t *testing.T) {
@@ -239,24 +258,30 @@ func TestNilFuncPanics(t *testing.T) {
 
 // TestScheduleIsAllocationFree pins the kernel contract the network
 // hot path relies on: scheduling a prebuilt record costs zero
-// allocations once the calendar's backing array is warm.
+// allocations once the calendar's backing storage is warm — for the
+// ladder that means the arena and tier slices have reached their
+// high-water marks, for the heap its backing array.
 func TestScheduleIsAllocationFree(t *testing.T) {
-	s := New()
-	noop := func(any) {}
-	// Warm the calendar capacity.
-	for i := 0; i < 64; i++ {
-		s.AtCall(1, noop, nil)
-	}
-	s.Run()
-	avg := testing.AllocsPerRun(100, func() {
-		for i := 0; i < 32; i++ {
-			s.AtCall(Time(1), noop, s)
-		}
-		for s.Step() {
-		}
-	})
-	if avg != 0 {
-		t.Errorf("AtCall allocates %v per 32-event batch, want 0", avg)
+	for _, c := range []Calendar{Ladder, Heap} {
+		t.Run(c.String(), func(t *testing.T) {
+			s := NewWithCalendar(c)
+			noop := func(any) {}
+			// Warm the calendar capacity.
+			for i := 0; i < 64; i++ {
+				s.AtCall(1, noop, nil)
+			}
+			s.Run()
+			avg := testing.AllocsPerRun(100, func() {
+				for i := 0; i < 32; i++ {
+					s.AtCall(s.Now()+1, noop, s)
+				}
+				for s.Step() {
+				}
+			})
+			if avg != 0 {
+				t.Errorf("AtCall allocates %v per 32-event batch, want 0", avg)
+			}
+		})
 	}
 }
 

@@ -102,8 +102,39 @@ type (
 // β=0.003 µs/flit, one injection port.
 func DefaultConfig() Config { return network.DefaultConfig() }
 
-// NewSimulator returns an empty discrete-event simulator.
+// Calendar selects the event-calendar implementation backing a
+// simulator: CalendarLadder (the default amortized-O(1) ladder queue)
+// or CalendarHeap (the legacy binary heap, kept as a cross-checking
+// reference). Both execute any schedule in the identical order;
+// only throughput differs.
+type Calendar = sim.Calendar
+
+const (
+	// CalendarLadder is the default ladder-queue calendar.
+	CalendarLadder = sim.Ladder
+	// CalendarHeap is the legacy binary-heap calendar.
+	CalendarHeap = sim.Heap
+)
+
+// ParseCalendar converts a -calendar flag value ("ladder" or "heap")
+// into a Calendar.
+func ParseCalendar(name string) (Calendar, error) { return sim.ParseCalendar(name) }
+
+// SetDefaultCalendar selects the calendar every subsequently created
+// simulator uses — including the ones experiments and scenarios build
+// internally. Call it before starting a run, not during one.
+func SetDefaultCalendar(c Calendar) { sim.SetDefaultCalendar(c) }
+
+// DefaultCalendar reports the calendar NewSimulator currently uses.
+func DefaultCalendar() Calendar { return sim.DefaultCalendar() }
+
+// NewSimulator returns an empty discrete-event simulator backed by
+// the process default calendar.
 func NewSimulator() *Simulator { return sim.New() }
+
+// NewSimulatorWithCalendar returns an empty discrete-event simulator
+// backed by the given calendar implementation.
+func NewSimulatorWithCalendar(c Calendar) *Simulator { return sim.NewWithCalendar(c) }
 
 // NewNetwork builds a wormhole network over topo driven by s.
 func NewNetwork(s *Simulator, topo Topology, cfg Config) (*Network, error) {
