@@ -22,6 +22,10 @@ import (
 // by side; when both are present a summary with the per-algorithm and
 // overall allocs/op reduction is recomputed. This is how the repo's
 // perf trajectory (BENCH_pr2.json, BENCH_pr3.json, …) is produced.
+// -benchtopo torus runs the same workload on the wraparound twin of
+// the bench mesh (two dateline VCs) and records it as the "torus"
+// phase, so BENCH_pr5.json carries the mesh trajectory point and the
+// torus datapoint in one artifact.
 
 // benchSchema identifies the artifact layout; bump on breaking change.
 const benchSchema = "wormsim-bench/v1"
@@ -47,11 +51,17 @@ type benchResult struct {
 	MeanCV float64 `json:"mean_cv"`
 }
 
-// benchPhase is one measurement pass (e.g. "heap", "ladder").
+// benchPhase is one measurement pass (e.g. "heap", "ladder",
+// "torus"). Topo records the topology kind the phase ran on ("mesh"
+// when empty); the torus phase runs the same saturation workload on
+// the wraparound twin of the bench mesh with two dateline VCs, so one
+// artifact carries the mesh trajectory and the torus datapoint side
+// by side.
 type benchPhase struct {
 	Recorded  string        `json:"recorded"`
 	GoVersion string        `json:"go_version"`
 	Calendar  string        `json:"calendar,omitempty"`
+	Topo      string        `json:"topo,omitempty"`
 	Results   []benchResult `json:"results"`
 }
 
@@ -90,12 +100,18 @@ type benchFile struct {
 // runBenchJSON executes the saturation benchmark and merges the
 // results into path under the given phase. benchtime is forwarded to
 // the testing package ("" keeps the 1s default; "1x" suits CI smoke).
-func runBenchJSON(path, phase, benchtime string) error {
+// topo selects the topology the workload runs on: "mesh" (the
+// trajectory the BENCH_* artifacts track) or "torus" (the wraparound
+// twin with two dateline VCs, recorded as its own phase).
+func runBenchJSON(path, phase, benchtime, topo string) error {
 	if benchtime != "" {
 		testing.Init()
 		if err := flag.Set("test.benchtime", benchtime); err != nil {
 			return fmt.Errorf("paperbench: bad -benchtime %q: %v", benchtime, err)
 		}
+	}
+	if topo != "mesh" && topo != "torus" {
+		return fmt.Errorf("paperbench: -benchtopo %q (want mesh or torus)", topo)
 	}
 
 	// A phase named after a calendar must be measured on that
@@ -107,6 +123,19 @@ func runBenchJSON(path, phase, benchtime string) error {
 			return fmt.Errorf("paperbench: -benchphase %s but -calendar %s; pass -calendar %s (or rename the phase)",
 				phase, activeCal, known)
 		}
+	}
+	// The trajectory phase names are reserved for the mesh workload:
+	// recording a torus measurement under them would corrupt every
+	// cross-PR comparison. The torus datapoint lives under "torus".
+	if topo == "torus" {
+		for _, reserved := range []string{"heap", "ladder", "baseline", "optimized"} {
+			if phase == reserved {
+				return fmt.Errorf("paperbench: -benchphase %s is a mesh trajectory phase; record the torus run under -benchphase torus", phase)
+			}
+		}
+	}
+	if phase == "torus" && topo != "torus" {
+		return fmt.Errorf("paperbench: -benchphase torus needs -benchtopo torus")
 	}
 
 	file, err := loadBenchFile(path)
@@ -120,10 +149,11 @@ func runBenchJSON(path, phase, benchtime string) error {
 		file.Phases = map[string]*benchPhase{}
 	}
 	// Same-kernel phase pairs must stay same-kernel: refuse to record
-	// a baseline/optimized phase on a different calendar than its
-	// already-recorded partner — the summary would attribute the
-	// calendar's speedup to whatever the phase pair claims to measure.
-	for _, pair := range [][2]string{{"baseline", "optimized"}, {"optimized", "baseline"}} {
+	// a baseline/optimized (or ladder/torus) phase on a different
+	// calendar than its already-recorded partner — the summary would
+	// attribute the calendar's speedup to whatever the phase pair
+	// claims to measure.
+	for _, pair := range [][2]string{{"baseline", "optimized"}, {"optimized", "baseline"}, {"torus", "ladder"}, {"ladder", "torus"}} {
 		if phase != pair[0] {
 			continue
 		}
@@ -156,10 +186,20 @@ func runBenchJSON(path, phase, benchtime string) error {
 	file.Workload = workload
 
 	m := wormsim.NewMesh(wormsim.SaturationDims()...)
+	bcfg := wormsim.SaturationConfig(seed)
+	if topo == "torus" {
+		// The wraparound twin of the bench mesh, on the torus network
+		// defaults: two dateline virtual channels per physical channel.
+		m = wormsim.NewTorus(wormsim.SaturationDims()...)
+		bcfg.Net.VCs = 2
+	}
 	p := &benchPhase{
 		Recorded:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		Calendar:  activeCal,
+	}
+	if topo == "torus" {
+		p.Topo = topo
 	}
 	for _, algo := range wormsim.Algorithms() {
 		var events uint64
@@ -167,7 +207,7 @@ func runBenchJSON(path, phase, benchtime string) error {
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				st, err := wormsim.ContendedCVStudy(m, algo, wormsim.SaturationConfig(seed))
+				st, err := wormsim.ContendedCVStudy(m, algo, bcfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -216,14 +256,28 @@ func summarizeFile(file *benchFile) *benchSummary {
 	// must share one kernel. (runBenchJSON refuses to record such
 	// artifacts; this guards hand-edited or merged ones.)
 	coherent := func(name string, p *benchPhase) bool {
-		return p != nil && ((name != "heap" && name != "ladder") || p.Calendar == "" || p.Calendar == name)
+		if p == nil {
+			return false
+		}
+		if (name == "heap" || name == "ladder") && p.Calendar != "" && p.Calendar != name {
+			return false
+		}
+		// A "torus" phase must be a torus measurement, and the mesh
+		// trajectory phases must not be.
+		if name == "torus" {
+			return p.Topo == "torus"
+		}
+		return p.Topo == "" || p.Topo == "mesh"
 	}
-	for _, pair := range [][2]string{{"heap", "ladder"}, {"baseline", "optimized"}} {
+	for _, pair := range [][2]string{{"heap", "ladder"}, {"ladder", "torus"}, {"baseline", "optimized"}} {
 		a, b := file.Phases[pair[0]], file.Phases[pair[1]]
 		if !coherent(pair[0], a) || !coherent(pair[1], b) {
 			continue
 		}
-		if pair[0] == "baseline" && a.Calendar != "" && b.Calendar != "" && a.Calendar != b.Calendar {
+		// Every pair except heap/ladder (which differs by definition)
+		// must share one kernel; a torus phase hand-recorded on the
+		// heap would otherwise masquerade as the mesh-vs-torus cost.
+		if pair[0] != "heap" && a.Calendar != "" && b.Calendar != "" && a.Calendar != b.Calendar {
 			continue
 		}
 		if s := summarize(a, b); s != nil {

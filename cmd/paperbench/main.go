@@ -3,7 +3,8 @@
 //
 //	paperbench            # full runs (paper-sized replication counts)
 //	paperbench -quick     # reduced replication for a fast smoke run
-//	paperbench -only fig1 # one artifact: fig1, fig1b, fig2, tables, fig3, fig4
+//	paperbench -only fig1 # one artifact: fig1, fig1b, fig2, tables,
+//	                      # fig3, fig4, fig2-torus
 //	paperbench -procs 8   # fan replications out over 8 workers
 //
 // Every artifact is a registered scenario (internal/scenario) looked
@@ -25,6 +26,9 @@
 //	                   one artifact get a computed summary ("heap" vs
 //	                   "ladder", or "baseline" vs "optimized")
 //	-benchtime D       per-algorithm duration, as for go test (1s, 5x)
+//	-benchtopo T       workload topology: mesh (default) or torus (the
+//	                   wraparound twin with two dateline VCs, recorded
+//	                   as the "torus" phase)
 //	-benchguard FILE   offline regression gate: compare FILE's best
 //	                   phase against -benchbaseline's and fail if any
 //	                   algorithm lost events/sec or gained allocs/op
@@ -63,7 +67,7 @@ import (
 func main() {
 	var (
 		quick    = flag.Bool("quick", false, "reduced replication counts for a fast run")
-		only     = flag.String("only", "", "comma-separated subset: fig1, fig1b, fig2, tables, fig3, fig4")
+		only     = flag.String("only", "", "comma-separated subset: fig1, fig1b, fig2, tables, fig3, fig4, fig2-torus")
 		seed     = flag.Uint64("seed", 2005, "random seed")
 		csvDir   = flag.String("csv", "", "also write each artifact as CSV into this directory")
 		batchesF = flag.Int("batches", 0, "override batch count for the traffic figures")
@@ -75,7 +79,8 @@ func main() {
 		calName = flag.String("calendar", "ladder", "event calendar backing the simulation kernel: ladder or heap (byte-identical output, different speed)")
 
 		benchJSON     = flag.String("benchjson", "", "run the saturation-load benchmark and merge results into this JSON artifact (skips the figures)")
-		benchPhase    = flag.String("benchphase", "optimized", "phase label for -benchjson results (heap, ladder, baseline, optimized, ci, ...)")
+		benchPhase    = flag.String("benchphase", "optimized", "phase label for -benchjson results (heap, ladder, baseline, optimized, torus, ci, ...)")
+		benchTopo     = flag.String("benchtopo", "mesh", "topology for -benchjson: mesh (the trajectory workload) or torus (wraparound twin, two dateline VCs, phase \"torus\")")
 		benchTime     = flag.String("benchtime", "", "benchmark duration per algorithm for -benchjson, as for go test (e.g. 1s, 5x); empty = testing default")
 		benchGuard    = flag.String("benchguard", "", "compare this bench artifact against -benchbaseline and exit nonzero on regression (offline; skips the figures)")
 		benchBaseline = flag.String("benchbaseline", "", "baseline bench artifact for -benchguard")
@@ -98,7 +103,7 @@ func main() {
 		return
 	}
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, *benchPhase, *benchTime); err != nil {
+		if err := runBenchJSON(*benchJSON, *benchPhase, *benchTime, *benchTopo); err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			os.Exit(1)
 		}
@@ -268,6 +273,16 @@ func main() {
 		fmt.Println(res.Figure)
 		timed(name, start)
 		writeCSV(name+".csv", func(f *os.File) error { return export.FigureCSV(f, res.Figure) })
+	}
+	// The torus experiment family (beyond the paper): the Fig. 2 study
+	// on wraparound networks with the full algorithm set over dateline
+	// virtual channels.
+	if selected("fig2-torus") {
+		start := time.Now()
+		res := run("fig2-torus", "fig2-torus", scenario.WithReps(reps))
+		fmt.Println(res.Figure)
+		timed("fig2-torus", start)
+		writeCSV("fig2-torus.csv", func(f *os.File) error { return export.FigureCSV(f, res.Figure) })
 	}
 }
 

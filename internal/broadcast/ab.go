@@ -38,14 +38,18 @@ func (AB) Ports() int { return 1 }
 // StepsFor returns AB's step count: three, independent of size.
 func (AB) StepsFor(m *topology.Mesh) int { return 3 }
 
-// Plan implements Algorithm.
+// Plan implements Algorithm. On a torus the plane recursion runs in
+// the source's unwrap frame (see planThroughFrame); mesh plans are
+// unchanged.
 func (ab AB) Plan(m *topology.Mesh, src topology.NodeID) (*Plan, error) {
 	if m.NDims() != 2 && m.NDims() != 3 {
 		return nil, fmt.Errorf("broadcast: AB requires a 2D or 3D mesh, got %s", m.Name())
 	}
-	if m.Wrap() {
-		return nil, fmt.Errorf("broadcast: AB requires a mesh, not a torus")
-	}
+	return planThroughFrame(m, src, ab.planMesh)
+}
+
+// planMesh is the unwrapped-mesh construction.
+func (ab AB) planMesh(m *topology.Mesh, src topology.NodeID) (*Plan, error) {
 	p := &Plan{Algorithm: ab.Name(), Source: src, Steps: ab.StepsFor(m)}
 
 	n0, n1 := m.NearestCornerInPlane(src, 0, 1)

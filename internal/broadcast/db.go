@@ -40,14 +40,18 @@ func (DB) Ports() int { return 1 }
 // StepsFor returns DB's step count: four, independent of size.
 func (DB) StepsFor(m *topology.Mesh) int { return 4 }
 
-// Plan implements Algorithm.
+// Plan implements Algorithm. On a torus the partitioning runs in the
+// source's unwrap frame (see planThroughFrame); mesh plans are
+// unchanged.
 func (db DB) Plan(m *topology.Mesh, src topology.NodeID) (*Plan, error) {
 	if m.NDims() != 2 && m.NDims() != 3 {
 		return nil, fmt.Errorf("broadcast: DB requires a 2D or 3D mesh, got %s", m.Name())
 	}
-	if m.Wrap() {
-		return nil, fmt.Errorf("broadcast: DB requires a mesh, not a torus")
-	}
+	return planThroughFrame(m, src, db.planMesh)
+}
+
+// planMesh is the unwrapped-mesh construction.
+func (db DB) planMesh(m *topology.Mesh, src topology.NodeID) (*Plan, error) {
 	p := &Plan{Algorithm: db.Name(), Source: src, Steps: db.StepsFor(m)}
 
 	X := m.Dim(0)

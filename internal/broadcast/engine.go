@@ -170,7 +170,7 @@ func RunSingle(m *topology.Mesh, algo Algorithm, src topology.NodeID, cfg networ
 	}
 	var adaptive routing.Selector
 	if needsAdaptive(plan) {
-		adaptive = routing.NewWestFirst(m)
+		adaptive = routing.WestFirstFor(m)
 	}
 	r, err := Execute(net, plan, Options{Length: length, Adaptive: adaptive, Tag: "single"})
 	if err != nil {

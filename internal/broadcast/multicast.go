@@ -92,10 +92,30 @@ func NodeAtRank(m *topology.Mesh, rank int) topology.NodeID {
 // PlanMulticast returns the dual-path schedule delivering to dests
 // (duplicates and the source itself are ignored). The returned plan
 // validates under a relaxed coverage rule — use ValidateMulticast.
+// On a torus the snake ranking runs in the canonical unwrap frame
+// (see planThroughFrame) and the worms' legs between ranked stops
+// ride the wraparound links; mesh plans are unchanged.
 func (mc Multicast) PlanMulticast(m *topology.Mesh, src topology.NodeID, dests []topology.NodeID) (*Plan, error) {
-	if m.Wrap() {
-		return nil, fmt.Errorf("broadcast: multicast requires a mesh, not a torus")
+	if !m.Wrap() {
+		return mc.planMesh(m, src, dests)
 	}
+	f := topology.NewFrame(m, 0)
+	vdests := make([]topology.NodeID, len(dests))
+	for i, d := range dests {
+		if int(d) < 0 || int(d) >= m.Nodes() {
+			return nil, fmt.Errorf("broadcast: multicast destination %d out of range", d)
+		}
+		vdests[i] = f.ToVirtual(d)
+	}
+	p, err := mc.planMesh(f.Virtual(), f.ToVirtual(src), vdests)
+	if err != nil {
+		return nil, err
+	}
+	return remapPlan(p, f), nil
+}
+
+// planMesh is the unwrapped-mesh construction.
+func (mc Multicast) planMesh(m *topology.Mesh, src topology.NodeID, dests []topology.NodeID) (*Plan, error) {
 	seen := make(map[topology.NodeID]bool, len(dests))
 	var up, down []topology.NodeID
 	srcRank := SnakeRank(m, src)

@@ -4,6 +4,16 @@
 // broadcast study leans on deadlock-free substrates (dimension-order,
 // west-first); this package lets the test suite verify that property
 // mechanically instead of by citation.
+//
+// Selectors that implement routing.VCPolicy (the dateline routers on
+// tori) are analysed at virtual-channel-class granularity: the graph
+// node for a hop is channel·classes + class, so a wraparound ring
+// whose physical channels form a cycle is still acyclic when the
+// dateline splits it across two classes. Class-level acyclicity
+// implies lane-level deadlock freedom for the network's partitioned
+// lanes: lanes of one class on one physical channel are
+// interchangeable, and a worm never requests the physical channel it
+// is holding.
 package cdg
 
 import (
@@ -46,18 +56,21 @@ func (g *Graph) Edges() int {
 
 // Build explores every (source, destination) pair under the selector,
 // following every adaptive branch, and records the channel
-// dependencies a message could create. It is exponential in path
+// dependencies a message could create. When the selector carries a
+// routing.VCPolicy the dependencies are tracked per (channel, VC
+// class); otherwise per physical channel. It is exponential in path
 // length in the worst case, so call it on small meshes (tests use
 // 4x4 and 3x3x3).
 func Build(m *topology.Mesh, sel routing.Selector) *Graph {
 	g := NewGraph()
 	n := m.Nodes()
+	pol, _ := sel.(routing.VCPolicy)
 	for src := 0; src < n; src++ {
 		for dst := 0; dst < n; dst++ {
 			if src == dst {
 				continue
 			}
-			explore(m, sel, g, topology.NodeID(src), topology.NodeID(dst))
+			explore(m, sel, pol, g, topology.NodeID(src), topology.NodeID(dst))
 		}
 	}
 	return g
@@ -67,7 +80,7 @@ func Build(m *topology.Mesh, sel routing.Selector) *Graph {
 // dependency for every consecutive channel pair. Visited (node,
 // holding-channel) states are pruned; since routing is minimal the
 // walk terminates.
-func explore(m *topology.Mesh, sel routing.Selector, g *Graph, src, dst topology.NodeID) {
+func explore(m *topology.Mesh, sel routing.Selector, pol routing.VCPolicy, g *Graph, src, dst topology.NodeID) {
 	type state struct {
 		cur     topology.NodeID
 		holding topology.ChannelID
@@ -87,6 +100,11 @@ func explore(m *topology.Mesh, sel routing.Selector, g *Graph, src, dst topology
 			ch := m.Channel(cur, next)
 			if ch == topology.InvalidChannel {
 				panic(fmt.Sprintf("cdg: %s proposed non-adjacent hop %d -> %d", sel.Name(), cur, next))
+			}
+			if pol != nil {
+				// Virtual-channel-class granularity: one graph node
+				// per (physical channel, class).
+				ch = ch*topology.ChannelID(pol.VCClasses()) + topology.ChannelID(pol.VCClass(cur, next, dst))
 			}
 			if holding != topology.InvalidChannel {
 				g.AddDependency(holding, ch)

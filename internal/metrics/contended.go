@@ -59,7 +59,7 @@ func ContendedCVStudy(m *topology.Mesh, algo broadcast.Algorithm, cfg ContendedC
 	}
 	var adaptive routing.Selector
 	if algo.Name() == "AB" {
-		adaptive = routing.NewWestFirst(m)
+		adaptive = routing.WestFirstFor(m)
 	}
 
 	interarrival := cfg.Interarrival

@@ -8,6 +8,12 @@
 // release in pipeline order. Multidestination (CPR) delivery, one-port
 // and multi-port injection, and adaptive next-hop selection are all
 // modelled here.
+//
+// With Config.VCs >= 2 each physical channel splits into independent
+// virtual-channel lanes (own holder, own FIFO) — the substrate that
+// makes minimal routing deadlock-free on tori when paired with a
+// dateline routing.VCPolicy. The default of one VC reproduces the
+// paper's mesh model exactly.
 package network
 
 import (
@@ -34,6 +40,17 @@ type Config struct {
 	// 1 for the one-port model (RD, DB, AB), 3 for EDN's three-port
 	// router. Zero means 1.
 	Ports int
+	// VCs is the number of virtual channels multiplexed over each
+	// physical channel. Zero means 1 — the paper's single-FIFO-queue
+	// channel model, byte-identical in behaviour and allocation to the
+	// pre-VC network. With VCs >= 2 each physical channel becomes VCs
+	// independent lanes with their own wait queues; selectors that
+	// implement routing.VCPolicy (the dateline routers) steer worms
+	// into class-partitioned lanes, which is what makes minimal
+	// routing deadlock-free on tori. Selectors without a policy may
+	// use any free lane (plain head-of-line-blocking relief — safe on
+	// meshes, NOT a deadlock guarantee on tori).
+	VCs int
 }
 
 // DefaultConfig returns the paper's baseline parameters: Ts=1.5 µs,
@@ -56,9 +73,19 @@ func (c Config) ports() int {
 	return 1
 }
 
+func (c Config) vcs() int {
+	if c.VCs > 0 {
+		return c.VCs
+	}
+	return 1
+}
+
 func (c Config) validate() error {
 	if c.Ts < 0 || c.Beta <= 0 || c.HopDelay < 0 {
 		return fmt.Errorf("network: invalid timing config %+v", c)
+	}
+	if c.VCs < 0 {
+		return fmt.Errorf("network: negative virtual channel count %d", c.VCs)
 	}
 	return nil
 }
@@ -110,6 +137,11 @@ type Network struct {
 	hop    float64
 	beta   float64
 	nports int
+	// vcs is the virtual-channel lane count per physical channel; the
+	// channel/statistics slices hold one entry per LANE, indexed
+	// lane = channel·vcs + vc. With vcs == 1 (every mesh default) the
+	// lane index IS the physical channel ID and nothing changes.
+	vcs int
 
 	// wormFree is the per-network worm pool; see getWorm/putWorm.
 	wormFree []*worm
@@ -142,22 +174,34 @@ func New(s *sim.Simulator, topo topology.Topology, cfg Config) (*Network, error)
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	lanes := topo.ChannelSlots() * cfg.vcs()
 	n := &Network{
 		topo:      topo,
 		sim:       s,
 		cfg:       cfg,
-		channels:  make([]channelState, topo.ChannelSlots()),
+		channels:  make([]channelState, lanes),
 		ports:     make([]portState, topo.Nodes()),
 		hop:       cfg.hopDelay(),
 		beta:      cfg.Beta,
 		nports:    cfg.ports(),
-		busyTime:  make([]sim.Time, topo.ChannelSlots()),
-		busySince: make([]sim.Time, topo.ChannelSlots()),
-		acquires:  make([]uint64, topo.ChannelSlots()),
+		vcs:       cfg.vcs(),
+		busyTime:  make([]sim.Time, lanes),
+		busySince: make([]sim.Time, lanes),
+		acquires:  make([]uint64, lanes),
 	}
 	if m, ok := topo.(*topology.Mesh); ok {
 		n.mesh = m
-		n.dor = routing.NewDOR(m)
+		if m.HasWrapLinks() && n.vcs > 1 {
+			// On a torus with virtual channels the default router is
+			// dateline dimension-order: the same minimal modular routes
+			// as plain DOR, deadlock-free via the dateline VC classes.
+			// A torus without actual wrap links (every extent < 3) has
+			// no rings to protect and keeps plain DOR, so its worms may
+			// spread over ALL lanes instead of the class-0 share.
+			n.dor = routing.NewDatelineDOR(m)
+		} else {
+			n.dor = routing.NewDOR(m)
+		}
 	}
 	return n, nil
 }

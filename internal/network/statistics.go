@@ -8,11 +8,15 @@ import (
 )
 
 // Channel-occupancy accounting. Every acquire/release pair adds to a
-// per-channel busy-time counter, which turns into the utilization
-// figures saturation analyses need (the paper reads saturation off
-// latency curves; utilization exposes the cause).
+// per-lane busy-time counter (one lane per virtual channel; exactly
+// one lane per channel on the default 1-VC network), which turns into
+// the utilization figures saturation analyses need (the paper reads
+// saturation off latency curves; utilization exposes the cause). The
+// exported views aggregate a channel's lanes, so callers keep seeing
+// physical channels regardless of Config.VCs.
 
-// ChannelStats reports one channel's occupancy.
+// ChannelStats reports one physical channel's occupancy, summed over
+// its virtual-channel lanes.
 type ChannelStats struct {
 	Channel  topology.ChannelID
 	BusyTime sim.Time
@@ -20,7 +24,9 @@ type ChannelStats struct {
 }
 
 // Utilization returns the fraction of simulated time the channel was
-// held, given the observation window end (usually sim.Now()).
+// held, given the observation window end (usually sim.Now()). On a
+// multi-VC network the lane-summed busy time may exceed the window;
+// the fraction saturates at 1.
 func (c ChannelStats) Utilization(now sim.Time) float64 {
 	if now <= 0 {
 		return 0
@@ -32,31 +38,38 @@ func (c ChannelStats) Utilization(now sim.Time) float64 {
 	return u
 }
 
-// noteAcquire records the moment a channel is granted.
-func (n *Network) noteAcquire(ch topology.ChannelID) {
-	n.busySince[ch] = n.sim.Now()
-	n.acquires[ch]++
+// noteAcquire records the moment a channel lane is granted.
+func (n *Network) noteAcquire(lane topology.ChannelID) {
+	n.busySince[lane] = n.sim.Now()
+	n.acquires[lane]++
 }
 
 // noteRelease accumulates the busy interval that just ended.
-func (n *Network) noteRelease(ch topology.ChannelID) {
-	n.busyTime[ch] += n.sim.Now() - n.busySince[ch]
+func (n *Network) noteRelease(lane topology.ChannelID) {
+	n.busyTime[lane] += n.sim.Now() - n.busySince[lane]
 }
 
-// ChannelStatsFor returns the occupancy record of one channel.
+// ChannelStatsFor returns the occupancy record of one physical
+// channel, aggregated over its lanes.
 func (n *Network) ChannelStatsFor(ch topology.ChannelID) ChannelStats {
-	return ChannelStats{Channel: ch, BusyTime: n.busyTime[ch], Acquires: n.acquires[ch]}
+	st := ChannelStats{Channel: ch}
+	for l := int(ch) * n.vcs; l < (int(ch)+1)*n.vcs; l++ {
+		st.BusyTime += n.busyTime[l]
+		st.Acquires += n.acquires[l]
+	}
+	return st
 }
 
-// HottestChannels returns the k channels with the largest busy time,
-// most loaded first. It is the tool for locating bottlenecks such as
-// the anchor-corner ports of the DB algorithm under heavy broadcast
-// rates.
+// HottestChannels returns the k physical channels with the largest
+// lane-summed busy time, most loaded first. It is the tool for
+// locating bottlenecks such as the anchor-corner ports of the DB
+// algorithm under heavy broadcast rates.
 func (n *Network) HottestChannels(k int) []ChannelStats {
-	all := make([]ChannelStats, 0, len(n.busyTime))
-	for ch, busy := range n.busyTime {
-		if busy > 0 {
-			all = append(all, ChannelStats{Channel: topology.ChannelID(ch), BusyTime: busy, Acquires: n.acquires[ch]})
+	all := make([]ChannelStats, 0, len(n.busyTime)/n.vcs)
+	for ch := 0; ch < len(n.busyTime)/n.vcs; ch++ {
+		st := n.ChannelStatsFor(topology.ChannelID(ch))
+		if st.BusyTime > 0 {
+			all = append(all, st)
 		}
 	}
 	sort.Slice(all, func(i, j int) bool {

@@ -25,13 +25,18 @@ type worm struct {
 	wpIdx   int // next waypoint to reach
 	path    []topology.NodeID
 	grants  []sim.Time           // grant time per hop (channel i = path[i]->path[i+1])
-	chans   []topology.ChannelID // acquired channels in order
+	chans   []topology.ChannelID // acquired channel LANES in order (channel·vcs + vc)
 	deliver []int                // hop index (1-based node position) per waypoint
 	relCur  int                  // next entry of chans to release (drain events)
 	delCur  int                  // next entry of deliver to fire (delivery events)
-	waiting topology.ChannelID   // channel whose queue the worm sits in, or -1
+	waiting topology.ChannelID   // channel lane whose queue the worm sits in, or -1
 	started sim.Time             // injection request time
 	portAt  sim.Time             // port grant time
+
+	// vcPol is the worm's virtual-channel class policy, resolved once
+	// at Send from its selector — and only on networks with more than
+	// one VC, so the single-VC hot path never pays the assertion.
+	vcPol routing.VCPolicy
 
 	// activePrev/activeNext thread the network's in-flight list: an
 	// intrusive doubly-linked list replaces the old map[*worm]bool,
@@ -81,6 +86,7 @@ func (n *Network) putWorm(w *worm) {
 	w.relCur, w.delCur = 0, 0
 	w.waiting = topology.InvalidChannel
 	w.started, w.portAt = 0, 0
+	w.vcPol = nil
 	w.activePrev, w.activeNext = nil, nil
 	n.wormFree = append(n.wormFree, w)
 }
@@ -156,6 +162,13 @@ func (n *Network) Send(start sim.Time, t *Transfer) error {
 	w.path = append(w.path, t.Source)
 	w.waiting = topology.InvalidChannel
 	w.started = start
+	if n.vcs > 1 {
+		sel := t.Selector
+		if sel == nil {
+			sel = n.dor
+		}
+		w.vcPol, _ = sel.(routing.VCPolicy)
+	}
 	n.injected++
 	n.activeAdd(w)
 	n.sim.AtCall(start, requestPortEvent, w)
@@ -238,27 +251,58 @@ func (n *Network) advance(w *worm) {
 	if len(cands) == 0 {
 		panic(fmt.Sprintf("network: no route from %d to %d for %s", w.cur, dst, w.describe()))
 	}
-	// Adaptive choice: first candidate whose channel is free.
+	// Adaptive choice: first candidate with a free lane (its VC-class
+	// lanes in order; the whole channel when there is no policy).
 	var pick topology.NodeID
-	var pickCh topology.ChannelID = topology.InvalidChannel
+	pickLane := topology.InvalidChannel
 	for _, cand := range cands {
 		ch := n.topo.Channel(w.cur, cand)
 		if ch == topology.InvalidChannel {
 			panic(fmt.Sprintf("network: router proposed non-adjacent hop %d -> %d", w.cur, cand))
 		}
-		if n.channels[ch].holder == nil {
-			pick, pickCh = cand, ch
+		lo, hi := n.laneRange(w, cand, dst)
+		base := int(ch) * n.vcs
+		for l := lo; l < hi; l++ {
+			if n.channels[base+l].holder == nil {
+				pick, pickLane = cand, topology.ChannelID(base+l)
+				break
+			}
+		}
+		if pickLane != topology.InvalidChannel {
 			break
 		}
 	}
-	if pickCh == topology.InvalidChannel {
-		// All candidates busy: wait FIFO on the most preferred one.
+	if pickLane == topology.InvalidChannel {
+		// All candidates busy: wait FIFO on the most preferred
+		// candidate's first permitted lane.
 		ch := n.topo.Channel(w.cur, cands[0])
-		w.waiting = ch
-		n.channels[ch].queue.Push(w)
+		lo, _ := n.laneRange(w, cands[0], dst)
+		lane := topology.ChannelID(int(ch)*n.vcs + lo)
+		w.waiting = lane
+		n.channels[lane].queue.Push(w)
 		return
 	}
-	n.acquire(w, pick, pickCh)
+	n.acquire(w, pick, pickLane)
+}
+
+// laneRange returns the half-open lane range [lo, hi) within one
+// physical channel's n.vcs lanes that w may occupy for the hop to
+// next. Without a VC policy every lane is permitted (adaptive
+// head-of-line-blocking relief); with one, the policy's classes
+// partition the lanes and the hop's class selects its share. Should
+// the network carry fewer lanes than the policy has classes, the
+// partition cannot be honoured and all lanes are permitted — the
+// 1-VC torus configuration the deadlock regression test documents.
+func (n *Network) laneRange(w *worm, next, dst topology.NodeID) (int, int) {
+	if n.vcs == 1 || w.vcPol == nil {
+		return 0, n.vcs
+	}
+	classes := w.vcPol.VCClasses()
+	if n.vcs < classes {
+		return 0, n.vcs
+	}
+	c := w.vcPol.VCClass(w.cur, next, dst)
+	return c * n.vcs / classes, (c + 1) * n.vcs / classes
 }
 
 // acquire grants channel ch to w and schedules the header's arrival at

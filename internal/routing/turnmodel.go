@@ -26,10 +26,11 @@ type WestFirst struct {
 
 // NewWestFirst returns the west-first/negative-first adaptive routing
 // function over m. It panics on a wrapped mesh: the turn model's
-// deadlock-freedom argument requires a mesh without wraparound links.
+// deadlock-freedom argument requires a mesh without wraparound links
+// (use NewTorusWestFirst or WestFirstFor on a torus).
 func NewWestFirst(m *topology.Mesh) *WestFirst {
-	if m.Wrap() {
-		panic("routing: west-first turn model requires a mesh, not a torus")
+	if err := m.MeshOnly("the west-first turn model"); err != nil {
+		panic(err.Error())
 	}
 	return &WestFirst{m: m}
 }
@@ -128,13 +129,14 @@ type OddEven struct {
 }
 
 // NewOddEven returns odd-even adaptive routing over m, which must have
-// at least two dimensions and no wraparound.
+// at least two dimensions and no wraparound (use NewTorusOddEven or
+// OddEvenFor on a torus).
 func NewOddEven(m *topology.Mesh) *OddEven {
 	if m.NDims() < 2 {
 		panic("routing: odd-even needs at least two dimensions")
 	}
-	if m.Wrap() {
-		panic("routing: odd-even turn model requires a mesh, not a torus")
+	if err := m.MeshOnly("the odd-even turn model"); err != nil {
+		panic(err.Error())
 	}
 	return &OddEven{m: m}
 }

@@ -27,6 +27,16 @@ func WithTopology(kind string) Option {
 	return func(s *Spec) { s.Topo = kind }
 }
 
+// WithVCs sets the virtual-channel count per physical channel
+// (n <= 0 keeps the topology default: 1 on meshes, 2 on tori).
+func WithVCs(n int) Option {
+	return func(s *Spec) {
+		if n > 0 {
+			s.VCs = n
+		}
+	}
+}
+
 // WithAlgorithms replaces the algorithm set (names RD, EDN, DB, AB).
 func WithAlgorithms(names ...string) Option {
 	return func(s *Spec) { s.Algorithms = names }

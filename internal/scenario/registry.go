@@ -196,17 +196,57 @@ func init() {
 	})
 	Register(Definition{
 		Name:    "fig2-torus",
-		Summary: "NEW: Fig. 2's CV study on tori (RD/EDN — the coded-path planners need a mesh)",
+		Summary: "NEW: Fig. 2's CV study on tori — full RD/EDN/DB/AB set over dateline VCs",
 		New: func() Spec {
 			s := fig2Spec()
 			s.Name, s.ID = "fig2-torus", "Fig.2-torus"
 			s.Topo = TopoTorus
-			// DB refuses a torus and AB's west-first substrate is
-			// mesh-only; the step-hungry baselines are the pair whose
-			// torus behaviour the paper leaves open.
-			s.Algorithms = []string{"RD", "EDN"}
+			// All four algorithms: RD/EDN route over dateline-DOR, DB's
+			// and AB's coded paths plan in the canonical unwrap frame
+			// and AB's adaptive sends run the torus west-first model.
+			// Two dateline VCs per channel (the torus default).
 			s.Title = "Coefficient of variation of arrival times vs torus size (L=64, Ts=1.5 µs)"
 			return s
+		},
+	})
+	Register(Definition{
+		Name:    "fig2-torus-vc",
+		Summary: "NEW: contended CV on an 8×8×8 torus vs virtual-channel count 1–4",
+		New: func() Spec {
+			return Spec{
+				Name: "fig2-torus-vc", ID: "Fig.2-torus-VC",
+				Workload: Contended, Axis: AxisVCs,
+				Topo: TopoTorus,
+				Dims: []int{8, 8, 8},
+				// The x=1 point is the unsafe baseline on purpose: one
+				// VC means plain DOR, whose torus CDG is cyclic (see
+				// cdg's plain-DOR regression test). It completes at
+				// this spec's pinned seed and load — a circular wait
+				// never materialises — and documents what the dateline
+				// pair costs (nothing) next to what it buys (the
+				// deadlock-freedom proof). Raising the load or
+				// reseeding MAY legitimately deadlock that point, in
+				// which case ContendedCVStudy errors with "broadcast
+				// stalled"; drop x=1 rather than chasing the seed.
+				Xs: []float64{1, 2, 3, 4},
+			}
+		},
+	})
+	Register(Definition{
+		Name:    "saturation-torus",
+		Summary: "NEW: the saturation latency sweep on an 8×8×8 torus (dateline VCs)",
+		New: func() Spec {
+			sat := metrics.SaturationConfig(0)
+			return Spec{
+				Name: "saturation-torus", ID: "Saturation-torus",
+				Workload: Contended, Axis: AxisInterarrival,
+				Metric: MetricLatency,
+				Topo:   TopoTorus,
+				Dims:   metrics.SaturationDims(),
+				Xs:     metrics.SaturationInterarrivals(),
+				Length: sat.Length,
+				Reps:   sat.Broadcasts,
+			}
 		},
 	})
 	Register(Definition{

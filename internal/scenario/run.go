@@ -76,13 +76,17 @@ func algorithmsFor(names []string) ([]broadcast.Algorithm, error) {
 }
 
 // substrateFor resolves a substrate name to a routing selector on m
-// (nil for deterministic dimension-order).
+// (nil for deterministic dimension-order). The turn-model names
+// resolve to their torus-capable variants on a wrapped mesh, so the
+// substrate ablation runs on either topology kind.
 func substrateFor(name string, m *topology.Mesh) routing.Selector {
 	switch name {
 	case "west-first":
-		return routing.NewWestFirst(m)
+		return routing.WestFirstFor(m)
 	case "odd-even":
-		return routing.NewOddEven(m)
+		return routing.OddEvenFor(m)
+	case "dateline-dor":
+		return routing.NewDatelineDOR(m)
 	default: // "dor": Execute's default path
 		return nil
 	}
@@ -132,10 +136,11 @@ func (s *Spec) pool(total int) *runner.Pool {
 }
 
 // netConfig returns the paper's network constants with the spec's
-// startup latency.
+// startup latency and virtual-channel count.
 func (s *Spec) netConfig() network.Config {
 	cfg := network.DefaultConfig()
 	cfg.Ts = s.Ts
+	cfg.VCs = s.VCs
 	return cfg
 }
 
@@ -224,6 +229,8 @@ func (s *Spec) runOneBroadcast(m *topology.Mesh, algo broadcast.Algorithm, src t
 		ncfg.HopDelay = x
 	case AxisTs:
 		ncfg.Ts = x
+	case AxisVCs:
+		ncfg.VCs = int(x)
 	case AxisPorts:
 		// The ports axis overrides the router model RunSingle would
 		// pin to the algorithm, so it plans and executes explicitly —
@@ -231,7 +238,7 @@ func (s *Spec) runOneBroadcast(m *topology.Mesh, algo broadcast.Algorithm, src t
 		ncfg.Ports = int(x)
 		var adaptive routing.Selector
 		if algo.Name() == "AB" {
-			adaptive = routing.NewWestFirst(m)
+			adaptive = routing.WestFirstFor(m)
 		}
 		return executePlanned(m, algo, src, ncfg, length, adaptive)
 	}
@@ -330,8 +337,12 @@ func runContended(ctx context.Context, s *Spec, algos []broadcast.Algorithm, res
 		if s.Axis == AxisInterarrival {
 			gap = xs[xi]
 		}
+		ncfg := s.netConfig()
+		if s.Axis == AxisVCs {
+			ncfg.VCs = int(xs[xi])
+		}
 		st, err := metrics.ContendedCVStudy(m, algo, metrics.ContendedConfig{
-			Net:          s.netConfig(),
+			Net:          ncfg,
 			Length:       s.Length,
 			Broadcasts:   s.Reps,
 			Interarrival: gap,
@@ -418,7 +429,7 @@ func runMixed(ctx context.Context, s *Spec, algos []broadcast.Algorithm, res *Re
 		algo, load := algos[k/nl], s.Xs[k%nl]
 		var unicast, adaptive routing.Selector
 		if algo.Name() == "AB" {
-			wf := routing.NewWestFirst(m)
+			wf := routing.WestFirstFor(m)
 			unicast, adaptive = wf, wf
 		}
 		ncfg := s.netConfig()

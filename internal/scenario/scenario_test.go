@@ -79,7 +79,7 @@ func TestRegistryRoundTrip(t *testing.T) {
 // legacy ones are covered by the experiments determinism tests):
 // Run's output is byte-identical for any worker count.
 func TestRunDeterministicAcrossProcs(t *testing.T) {
-	for _, name := range []string{"fig1-ts", "fig2-torus", "saturation"} {
+	for _, name := range []string{"fig1-ts", "fig2-torus", "fig2-torus-vc", "saturation", "saturation-torus"} {
 		t.Run(name, func(t *testing.T) {
 			render := func(procs int) string {
 				spec, err := scenario.Build(name, scenario.WithProcs(procs))
@@ -154,6 +154,11 @@ func TestValidateRejectsContradictorySpecs(t *testing.T) {
 		// subset the run would emit nil tables into every sink.
 		{Workload: scenario.Contended, Artifact: scenario.ArtifactTable1, Algorithms: []string{"RD", "EDN", "DB"}},
 		{Topo: "hyperloop"},
+		// VC sweep values must be integers >= 1: the run loop
+		// truncates to int and the network reads 0 as 1, so these
+		// would silently mislabel their points.
+		{Workload: scenario.Contended, Axis: scenario.AxisVCs, Xs: []float64{0.5, 1}},
+		{Workload: scenario.Uncontended, Axis: scenario.AxisVCs, Dims: []int{3, 3}, Xs: []float64{1.5}},
 	}
 	for i, spec := range bad {
 		if _, err := scenario.Run(context.Background(), spec); err == nil {

@@ -52,6 +52,10 @@ const (
 	// AxisInterarrival sweeps the mean broadcast injection gap in µs
 	// (contended workload).
 	AxisInterarrival Axis = "interarrival"
+	// AxisVCs sweeps the virtual-channel count per physical channel
+	// (uncontended or contended workloads; primarily a torus study —
+	// on meshes extra VCs only relieve head-of-line blocking).
+	AxisVCs Axis = "vcs"
 )
 
 // Metric selects the y value a contended scenario reports.
@@ -134,6 +138,11 @@ type Spec struct {
 	Length int
 	// Ts is the startup latency in µs (default 1.5).
 	Ts float64
+	// VCs is the virtual-channel count per physical channel. Zero
+	// defaults to 1 on meshes (the paper's single-queue channel,
+	// byte-identical to the pre-VC goldens) and 2 on tori (the
+	// dateline pair that makes minimal routing deadlock-free there).
+	VCs int
 	// Metric is the contended y value (default MetricCV).
 	Metric Metric
 
@@ -212,6 +221,13 @@ func (s Spec) applyDefaults() Spec {
 	if s.Ts == 0 {
 		s.Ts = 1.5
 	}
+	if s.VCs == 0 {
+		if s.Topo == TopoTorus {
+			s.VCs = 2
+		} else {
+			s.VCs = 1
+		}
+	}
 	if s.Metric == "" {
 		s.Metric = MetricCV
 	}
@@ -272,8 +288,8 @@ func (s *Spec) validate() error {
 		return fmt.Errorf("scenario %s: unknown workload %q", s.Name, s.Workload)
 	}
 	valid := map[Workload][]Axis{
-		Uncontended: {AxisSize, AxisLength, AxisHopDelay, AxisPorts, AxisTs, AxisSubstrate},
-		Contended:   {AxisSize, AxisInterarrival},
+		Uncontended: {AxisSize, AxisLength, AxisHopDelay, AxisPorts, AxisTs, AxisSubstrate, AxisVCs},
+		Contended:   {AxisSize, AxisInterarrival, AxisVCs},
 		Mixed:       {AxisLoad},
 	}
 	ok := false
@@ -295,6 +311,16 @@ func (s *Spec) validate() error {
 	} else if len(s.Xs) == 0 && s.Axis != AxisSubstrate {
 		return fmt.Errorf("scenario %s: axis %q with no sweep values", s.Name, s.Axis)
 	}
+	if s.Axis == AxisVCs {
+		// The run loop truncates x to an int and the network treats 0
+		// as 1, so a fractional or sub-1 sweep value would emit a
+		// point labeled with a VC count it never ran.
+		for _, x := range s.Xs {
+			if x < 1 || x != float64(int(x)) {
+				return fmt.Errorf("scenario %s: VC sweep value %g is not an integer >= 1", s.Name, x)
+			}
+		}
+	}
 	if len(s.Algorithms) == 0 {
 		return fmt.Errorf("scenario %s: no algorithms", s.Name)
 	}
@@ -308,7 +334,7 @@ func (s *Spec) validate() error {
 		}
 		for _, sub := range s.Substrates {
 			switch sub {
-			case "west-first", "odd-even", "dor":
+			case "west-first", "odd-even", "dor", "dateline-dor":
 			default:
 				return fmt.Errorf("scenario %s: unknown substrate %q", s.Name, sub)
 			}
@@ -383,6 +409,9 @@ func (s *Spec) headings(m *topology.Mesh) (title, xlabel, ylabel string) {
 		case AxisSubstrate:
 			dTitle = fmt.Sprintf("%s latency by routing substrate on %s (L=%d)", s.Algorithms[0], name, s.Length)
 			dX = "replication"
+		case AxisVCs:
+			dTitle = fmt.Sprintf("Broadcast latency vs virtual channels on %s (L=%d)", name, s.Length)
+			dX = "virtual channels"
 		}
 	case Contended:
 		if s.Metric == MetricLatency {
@@ -401,6 +430,9 @@ func (s *Spec) headings(m *topology.Mesh) (title, xlabel, ylabel string) {
 		case AxisInterarrival:
 			dTitle = fmt.Sprintf("Broadcast performance vs injection gap on %s (L=%d, Ts=%g µs)", name, s.Length, s.Ts)
 			dX = "interarrival (µs)"
+		case AxisVCs:
+			dTitle = fmt.Sprintf("Broadcast performance vs virtual channels on %s (L=%d, Ts=%g µs)", name, s.Length, s.Ts)
+			dX = "virtual channels"
 		}
 	case Mixed:
 		dTitle = fmt.Sprintf("Mean latency vs traffic load on %s (L=%d flits, %g%% unicast / %g%% broadcast)",

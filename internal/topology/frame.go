@@ -1,0 +1,81 @@
+package topology
+
+// Frame is an unwrap coordinate frame on a torus: a relabelling of
+// the nodes so that a chosen origin sits at coordinate zero and every
+// other node's coordinate is its modular offset from the origin along
+// each wraparound dimension. In the virtual frame the torus looks
+// like an ordinary mesh — virtual coordinate v = (physical − origin)
+// mod k — while two virtually adjacent nodes are always physically
+// adjacent (the wrap link realises the virtual edge from k−1 back to
+// 0's neighbour).
+//
+// The broadcast planners use one fixed frame per source: they run
+// their mesh recursions on Virtual() and map the resulting plans back
+// with ToPhysical. Dimensions without wrap links (and every dimension
+// of a plain mesh) keep origin 0, so on a mesh the frame is the
+// identity and the planners' mesh output is bit-for-bit unchanged.
+type Frame struct {
+	m      *Mesh
+	virt   *Mesh
+	origin []int
+}
+
+// NewFrame returns the unwrap frame of m anchored at node origin: the
+// origin's coordinate becomes 0 along every wraparound dimension;
+// non-wrap dimensions are left in place. On a plain mesh the frame is
+// the identity.
+func NewFrame(m *Mesh, origin NodeID) *Frame {
+	f := &Frame{m: m, origin: make([]int, m.NDims())}
+	for d := range f.origin {
+		if m.WrapDim(d) {
+			f.origin[d] = m.CoordAxis(origin, d)
+		}
+	}
+	f.virt = m.Unwrapped()
+	return f
+}
+
+// Virtual returns the unwrapped mesh the frame plans on: same extents
+// as the underlying topology, no wraparound links. For a plain mesh
+// it is the mesh itself.
+func (f *Frame) Virtual() *Mesh { return f.virt }
+
+// Identity reports whether the frame maps every node to itself
+// (plain mesh, or an origin already at coordinate zero on every wrap
+// dimension).
+func (f *Frame) Identity() bool {
+	for _, o := range f.origin {
+		if o != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ToVirtual maps a physical node into the frame.
+func (f *Frame) ToVirtual(p NodeID) NodeID {
+	id := 0
+	for d, o := range f.origin {
+		k := f.m.Dim(d)
+		c := f.m.CoordAxis(p, d) - o
+		if c < 0 {
+			c += k
+		}
+		id += c * f.m.strides[d]
+	}
+	return NodeID(id)
+}
+
+// ToPhysical maps a virtual-frame node back onto the torus.
+func (f *Frame) ToPhysical(v NodeID) NodeID {
+	id := 0
+	for d, o := range f.origin {
+		k := f.m.Dim(d)
+		c := f.virt.CoordAxis(v, d) + o
+		if c >= k {
+			c -= k
+		}
+		id += c * f.m.strides[d]
+	}
+	return NodeID(id)
+}

@@ -1,0 +1,119 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dims := make([]int, 1+r.Intn(3))
+		for i := range dims {
+			dims[i] = 2 + r.Intn(4)
+		}
+		m := NewTorus(dims...)
+		f := NewFrame(m, NodeID(r.Intn(m.Nodes())))
+		for id := 0; id < m.Nodes(); id++ {
+			v := f.ToVirtual(NodeID(id))
+			if int(v) < 0 || int(v) >= m.Nodes() {
+				t.Logf("%s: virtual id %d out of range", m.Name(), v)
+				return false
+			}
+			if back := f.ToPhysical(v); back != NodeID(id) {
+				t.Logf("%s: %d -> %d -> %d", m.Name(), id, v, back)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrameAdjacencyPreserved pins the property the planners rely on:
+// two nodes adjacent in the virtual mesh are physically adjacent on
+// the torus (the wrap links realise the seam).
+func TestFrameAdjacencyPreserved(t *testing.T) {
+	m := NewTorus(4, 3, 5)
+	f := NewFrame(m, m.ID(2, 1, 4))
+	virt := f.Virtual()
+	if virt.Wrap() {
+		t.Fatal("virtual mesh has wrap links")
+	}
+	for id := 0; id < virt.Nodes(); id++ {
+		for _, nb := range virt.Adjacent(NodeID(id)) {
+			p, q := f.ToPhysical(NodeID(id)), f.ToPhysical(nb)
+			if m.Channel(p, q) == InvalidChannel {
+				t.Fatalf("virtual edge %d-%d maps to non-adjacent %d-%d", id, nb, p, q)
+			}
+		}
+	}
+}
+
+func TestFrameAnchor(t *testing.T) {
+	m := NewTorus(4, 4)
+	anchor := m.ID(3, 2)
+	f := NewFrame(m, anchor)
+	if f.Identity() {
+		t.Error("non-zero anchor reported as identity")
+	}
+	if got := f.ToVirtual(anchor); got != 0 {
+		t.Errorf("anchor maps to virtual %d, want 0", got)
+	}
+	// The zero anchor and every frame on a plain mesh are identities.
+	if !NewFrame(m, 0).Identity() {
+		t.Error("zero anchor not identity")
+	}
+	mesh := NewMesh(4, 4)
+	f = NewFrame(mesh, mesh.ID(3, 2))
+	if !f.Identity() {
+		t.Error("mesh frame not identity")
+	}
+	if f.Virtual() != mesh {
+		t.Error("mesh frame built a fresh virtual mesh")
+	}
+	// Non-wrap dimensions (extent 2) keep origin 0 even on a torus.
+	m = NewTorus(2, 4)
+	f = NewFrame(m, m.ID(1, 3))
+	if got := f.ToVirtual(m.ID(1, 3)); got != m.ID(1, 0) {
+		t.Errorf("2-extent dim shifted: anchor maps to %d, want %d", got, m.ID(1, 0))
+	}
+}
+
+func TestUnwrappedTwinCachedAndShared(t *testing.T) {
+	m := NewTorus(4, 4)
+	u1, u2 := m.Unwrapped(), m.Unwrapped()
+	if u1 != u2 {
+		t.Error("Unwrapped rebuilt the twin")
+	}
+	if u1.Wrap() || u1.Nodes() != m.Nodes() {
+		t.Errorf("twin %s is not the wrap-free copy of %s", u1.Name(), m.Name())
+	}
+	mesh := NewMesh(3, 3)
+	if mesh.Unwrapped() != mesh {
+		t.Error("mesh twin is not the mesh itself")
+	}
+}
+
+func TestMeshOnlyMessage(t *testing.T) {
+	m := NewTorus(4, 4)
+	err := m.MeshOnly("the frobnicator")
+	if err == nil {
+		t.Fatal("torus passed MeshOnly")
+	}
+	want := "topology: the frobnicator requires a mesh without wraparound links, got torus 4x4"
+	if err.Error() != want {
+		t.Errorf("message %q, want %q", err, want)
+	}
+	if err := NewMesh(4, 4).MeshOnly("anything"); err != nil {
+		t.Errorf("mesh failed MeshOnly: %v", err)
+	}
+	// A torus without actual wrap links is still rejected: the caller
+	// asked for the capability, and NewTorus(2,2) advertises Wrap.
+	if err := NewTorus(2, 2).MeshOnly("x"); err == nil {
+		t.Error("wrapless torus passed MeshOnly")
+	}
+}

@@ -9,6 +9,7 @@ package topology
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // NodeID identifies a node. IDs are dense in [0, Nodes()).
@@ -47,6 +48,14 @@ type Mesh struct {
 	n       int
 	wrap    bool
 	adj     [][]NodeID
+
+	// unwrapped lazily caches the wrap-free twin (same extents, no
+	// wraparound links) that unwrap frames plan on; building it costs
+	// a full adjacency table, so it is shared by every Frame over this
+	// mesh. Guarded by unwrapOnce: topologies are read shared across
+	// the experiment pool's workers.
+	unwrapOnce sync.Once
+	unwrapped  *Mesh
 }
 
 // NewMesh returns a mesh with the given per-dimension extents.
@@ -132,6 +141,49 @@ func (m *Mesh) Dims() []int { return append([]int(nil), m.dims...) }
 
 // Wrap reports whether the mesh has wraparound (torus) links.
 func (m *Mesh) Wrap() bool { return m.wrap }
+
+// WrapDim reports whether dimension d actually carries wraparound
+// links: the topology is a torus AND the extent is at least 3 (a
+// 2-extent wraparound would duplicate the existing link, so none is
+// created — see NewTorus).
+func (m *Mesh) WrapDim(d int) bool { return m.wrap && m.dims[d] >= 3 }
+
+// HasWrapLinks reports whether any dimension carries wraparound
+// links. A NewTorus(2, 2) has none and behaves exactly like a mesh.
+func (m *Mesh) HasWrapLinks() bool {
+	for d := range m.dims {
+		if m.WrapDim(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// Unwrapped returns the wrap-free twin of the mesh: same extents, no
+// wraparound links. For a plain mesh it is the mesh itself. The twin
+// is built once and cached — unwrap frames (topology.Frame) plan on
+// it for every source, so per-plan rebuilds would dominate planning
+// cost on tori.
+func (m *Mesh) Unwrapped() *Mesh {
+	if !m.wrap {
+		return m
+	}
+	m.unwrapOnce.Do(func() { m.unwrapped = NewMesh(m.dims...) })
+	return m.unwrapped
+}
+
+// MeshOnly is the shared capability check for entry points whose
+// correctness argument genuinely needs a mesh without wraparound
+// links (e.g. the mesh turn-model constructors: their deadlock proofs
+// break on a wrapped ring). It returns nil on a mesh and a consistent
+// error naming the operation otherwise, so every rejection reads the
+// same and tests can pin one message.
+func (m *Mesh) MeshOnly(op string) error {
+	if m.wrap {
+		return fmt.Errorf("topology: %s requires a mesh without wraparound links, got %s", op, m.Name())
+	}
+	return nil
+}
 
 // Name returns e.g. "mesh 8x8x8" or "torus 4x4x4".
 func (m *Mesh) Name() string {

@@ -78,11 +78,35 @@ type (
 func NewDOR(m *Mesh, order ...int) Selector { return routing.NewDOR(m, order...) }
 
 // NewWestFirst returns the west-first turn-model adaptive routing
-// function over m (generalised to negative-first in 3D).
+// function over m (generalised to negative-first in 3D). It panics on
+// a torus — use NewTorusWestFirst or WestFirstFor there.
 func NewWestFirst(m *Mesh) Selector { return routing.NewWestFirst(m) }
 
-// NewOddEven returns Chiu's odd-even turn-model adaptive routing.
+// NewOddEven returns Chiu's odd-even turn-model adaptive routing. It
+// panics on a torus — use NewTorusOddEven or OddEvenFor there.
 func NewOddEven(m *Mesh) Selector { return routing.NewOddEven(m) }
+
+// NewDatelineDOR returns dimension-order routing with dateline
+// virtual channels: deadlock-free minimal routing on tori when the
+// network runs two or more VCs (Config.VCs). It is the router a
+// torus network installs by default.
+func NewDatelineDOR(m *Mesh, order ...int) Selector { return routing.NewDatelineDOR(m, order...) }
+
+// NewTorusWestFirst returns the torus-capable west-first turn model:
+// minimal dateline routing along wraparound dimensions, west-first
+// adaptivity on the rest.
+func NewTorusWestFirst(m *Mesh) Selector { return routing.NewTorusWestFirst(m) }
+
+// NewTorusOddEven returns the torus-capable odd-even turn model.
+func NewTorusOddEven(m *Mesh) Selector { return routing.NewTorusOddEven(m) }
+
+// WestFirstFor returns the west-first routing function appropriate
+// for m: the mesh turn model on a mesh, the torus-capable variant on
+// a torus.
+func WestFirstFor(m *Mesh) Selector { return routing.WestFirstFor(m) }
+
+// OddEvenFor returns the odd-even routing function appropriate for m.
+func OddEvenFor(m *Mesh) Selector { return routing.OddEvenFor(m) }
 
 // Network simulation.
 type (
@@ -349,6 +373,9 @@ var (
 	WithSizes = scenario.WithSizes
 	// WithTopology selects "mesh" or "torus".
 	WithTopology = scenario.WithTopology
+	// WithVCs sets the virtual channels per physical channel
+	// (<= 0 keeps the topology default: 1 on meshes, 2 on tori).
+	WithVCs = scenario.WithVCs
 	// WithAlgorithms replaces the algorithm set (RD, EDN, DB, AB).
 	WithAlgorithms = scenario.WithAlgorithms
 	// WithReps sets the replication count (<= 0 keeps the default).
