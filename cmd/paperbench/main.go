@@ -4,7 +4,7 @@
 //	paperbench            # full runs (paper-sized replication counts)
 //	paperbench -quick     # reduced replication for a fast smoke run
 //	paperbench -only fig1 # one artifact: fig1, fig1b, fig2, tables,
-//	                      # fig3, fig4, fig2-torus
+//	                      # fig3, fig4, fig2-torus, faults
 //	paperbench -procs 8   # fan replications out over 8 workers
 //
 // Every artifact is a registered scenario (internal/scenario) looked
@@ -67,7 +67,7 @@ import (
 func main() {
 	var (
 		quick    = flag.Bool("quick", false, "reduced replication counts for a fast run")
-		only     = flag.String("only", "", "comma-separated subset: fig1, fig1b, fig2, tables, fig3, fig4, fig2-torus")
+		only     = flag.String("only", "", "comma-separated subset: fig1, fig1b, fig2, tables, fig3, fig4, fig2-torus, faults")
 		seed     = flag.Uint64("seed", 2005, "random seed")
 		csvDir   = flag.String("csv", "", "also write each artifact as CSV into this directory")
 		batchesF = flag.Int("batches", 0, "override batch count for the traffic figures")
@@ -283,6 +283,18 @@ func main() {
 		fmt.Println(res.Figure)
 		timed("fig2-torus", start)
 		writeCSV("fig2-torus.csv", func(f *os.File) error { return export.FigureCSV(f, res.Figure) })
+	}
+	// The fault-injection family (beyond the paper): delivery coverage
+	// as links fail, for all four algorithms on mesh and torus, and
+	// the adaptive-substrate comparison under the same fault plans.
+	if selected("faults") {
+		for _, name := range []string{"fig2-faults", "faults-adaptive"} {
+			start := time.Now()
+			res := run(name, name, scenario.WithReps(reps))
+			fmt.Println(res.Figure)
+			timed(name, start)
+			writeCSV(name+".csv", func(f *os.File) error { return export.FigureCSV(f, res.Figure) })
+		}
 	}
 }
 

@@ -6,6 +6,13 @@
 //	sweep -what ablation-length -mesh 8x8x8 -o length.csv
 //	sweep -what fig2-torus -seed 7
 //	sweep -what fig2 -calendar heap           # legacy-calendar cross-check
+//	sweep -what fig2-faults                   # coverage vs failed links
+//	sweep -what fig2 -faults 8                # Fig. 2 with 8 dead links
+//
+// The -faults flag fails that many random undirected links (both
+// directions) in every cell of a contended scenario before traffic
+// starts; the fault-axis scenarios (fig2-faults, faults-adaptive,
+// faults-transient) sweep the count instead and ignore the flag.
 //
 // The -calendar flag selects the simulation kernel's event calendar
 // (ladder, the default, or the legacy binary heap). Output is
@@ -45,6 +52,7 @@ func main() {
 		seed     = flag.Uint64("seed", 2005, "random seed")
 		out      = flag.String("o", "", "output file (default stdout)")
 		procs    = flag.Int("procs", 0, "max parallel replications (0 = all cores); output is identical for any value")
+		faults   = flag.Int("faults", 0, "fail this many random undirected links in every cell of a contended scenario (0 = scenario default)")
 		calName  = flag.String("calendar", "ladder", "event calendar backing the simulation kernel: ladder or heap (byte-identical output, different speed)")
 	)
 	flag.Parse()
@@ -67,6 +75,7 @@ func main() {
 		scenario.WithReps(*reps),
 		scenario.WithSeed(*seed),
 		scenario.WithProcs(*procs),
+		scenario.WithFaults(*faults),
 	}
 	if *meshSpec != "" {
 		dims, err := parseDims(*meshSpec)

@@ -40,6 +40,12 @@ type Config struct {
 	// 1 for the one-port model (RD, DB, AB), 3 for EDN's three-port
 	// router. Zero means 1.
 	Ports int
+	// DeadWait is how long a worm whose every admissible next hop is
+	// dead waits for a recovery before it is dropped, in µs. Zero
+	// drops such worms immediately. It is only ever consulted on a
+	// network that has seen a fault (see health.go); pristine runs
+	// never read it.
+	DeadWait float64
 	// VCs is the number of virtual channels multiplexed over each
 	// physical channel. Zero means 1 — the paper's single-FIFO-queue
 	// channel model, byte-identical in behaviour and allocation to the
@@ -87,6 +93,9 @@ func (c Config) validate() error {
 	if c.VCs < 0 {
 		return fmt.Errorf("network: negative virtual channel count %d", c.VCs)
 	}
+	if c.DeadWait < 0 {
+		return fmt.Errorf("network: negative dead-hop wait %g", c.DeadWait)
+	}
 	return nil
 }
 
@@ -110,6 +119,16 @@ type Transfer struct {
 	OnDeliver func(node topology.NodeID, at sim.Time)
 	// OnDone, if set, fires when the worm fully drains.
 	OnDone func(at sim.Time)
+	// OnDrop, if set, fires when the worm is aborted on a degraded
+	// network (every admissible next hop dead and any DeadWait grace
+	// expired). At most one of OnDone/OnDrop fires per transfer.
+	OnDrop func(at sim.Time)
+	// OnPath, if set, fires once when the worm retires — drained or
+	// dropped — with the node sequence its header traversed and
+	// whether the worm delivered. The slice is only valid during the
+	// call (the worm recycles); copy it to retain it. The robustness
+	// suite uses this to audit realized routes against fault sets.
+	OnPath func(path []topology.NodeID, delivered bool)
 	// Tag is free-form labelling for tracing and debugging.
 	Tag string
 }
@@ -145,6 +164,15 @@ type Network struct {
 
 	// wormFree is the per-network worm pool; see getWorm/putWorm.
 	wormFree []*worm
+
+	// Fault state (health.go). health stays nil until the first
+	// failure is injected, so the hot path pays one nil test and a
+	// pristine network is byte- and allocation-identical to the
+	// pre-fault implementation.
+	health   *healthState
+	deadWait float64
+	parked   []*worm
+	dropped  uint64
 
 	// candScratch is the reusable next-hop candidate buffer advance
 	// hands to HopAppender selectors. Safe to share across worms: the
@@ -182,6 +210,7 @@ func New(s *sim.Simulator, topo topology.Topology, cfg Config) (*Network, error)
 		channels:  make([]channelState, lanes),
 		ports:     make([]portState, topo.Nodes()),
 		hop:       cfg.hopDelay(),
+		deadWait:  cfg.DeadWait,
 		beta:      cfg.Beta,
 		nports:    cfg.ports(),
 		vcs:       cfg.vcs(),

@@ -33,6 +33,11 @@ type worm struct {
 	started sim.Time             // injection request time
 	portAt  sim.Time             // port grant time
 
+	// parkToken is non-nil while the worm is parked awaiting a fault
+	// recovery; it guards the park-timeout calendar record (see
+	// health.go).
+	parkToken *parkToken
+
 	// vcPol is the worm's virtual-channel class policy, resolved once
 	// at Send from its selector — and only on networks with more than
 	// one VC, so the single-VC hot path never pays the assertion.
@@ -72,8 +77,10 @@ func (n *Network) getWorm() *worm {
 }
 
 // putWorm resets w (dropping its Transfer reference, keeping slice
-// capacity) and returns it to the free list. Only finishWorm may call
-// it: by then every calendar record referencing w has fired.
+// capacity) and returns it to the free list. Only finishWorm and
+// dropWorm may call it: by then every calendar record referencing w
+// has fired — park timeouts reference a token, not the worm, exactly
+// so a drop cannot race a stale timeout.
 func (n *Network) putWorm(w *worm) {
 	w.net = nil
 	w.t = nil
@@ -86,6 +93,7 @@ func (n *Network) putWorm(w *worm) {
 	w.relCur, w.delCur = 0, 0
 	w.waiting = topology.InvalidChannel
 	w.started, w.portAt = 0, 0
+	w.parkToken = nil
 	w.vcPol = nil
 	w.activePrev, w.activeNext = nil, nil
 	n.wormFree = append(n.wormFree, w)
@@ -128,6 +136,9 @@ func finishWorm(arg any) {
 	n.finished++
 	if w.t.OnDone != nil {
 		w.t.OnDone(n.sim.Now())
+	}
+	if w.t.OnPath != nil {
+		w.t.OnPath(w.path, true)
 	}
 	n.putWorm(w)
 }
@@ -237,6 +248,12 @@ func (n *Network) advance(w *worm) {
 		return
 	}
 	dst := w.t.Waypoints[w.wpIdx]
+	h := n.health
+	if h != nil && h.nodeDown[w.cur] {
+		// The header sits at a node that failed under it: fail-stop.
+		n.parkOrDrop(w)
+		return
+	}
 	// Route through the allocation-free append path when the selector
 	// offers it, reusing the network's scratch buffer; foreign
 	// selectors fall back to the slice-returning form.
@@ -252,13 +269,24 @@ func (n *Network) advance(w *worm) {
 		panic(fmt.Sprintf("network: no route from %d to %d for %s", w.cur, dst, w.describe()))
 	}
 	// Adaptive choice: first candidate with a free lane (its VC-class
-	// lanes in order; the whole channel when there is no policy).
+	// lanes in order; the whole channel when there is no policy). On a
+	// degraded network (health non-nil) a hop over a dead channel or
+	// into a dead node is not a candidate at all — this filter is the
+	// re-route: an adaptive selector's remaining candidates are its
+	// live admissible detours.
 	var pick topology.NodeID
 	pickLane := topology.InvalidChannel
-	for _, cand := range cands {
+	firstLive := -1
+	for i, cand := range cands {
 		ch := n.topo.Channel(w.cur, cand)
 		if ch == topology.InvalidChannel {
 			panic(fmt.Sprintf("network: router proposed non-adjacent hop %d -> %d", w.cur, cand))
+		}
+		if h != nil && (h.linkDown[ch] || h.nodeDown[cand]) {
+			continue
+		}
+		if firstLive < 0 {
+			firstLive = i
 		}
 		lo, hi := n.laneRange(w, cand, dst)
 		base := int(ch) * n.vcs
@@ -273,10 +301,17 @@ func (n *Network) advance(w *worm) {
 		}
 	}
 	if pickLane == topology.InvalidChannel {
-		// All candidates busy: wait FIFO on the most preferred
-		// candidate's first permitted lane.
-		ch := n.topo.Channel(w.cur, cands[0])
-		lo, _ := n.laneRange(w, cands[0], dst)
+		if firstLive < 0 {
+			// Every admissible hop is dead: the worm cannot make
+			// progress on the degraded network.
+			n.parkOrDrop(w)
+			return
+		}
+		// All live candidates busy: wait FIFO on the most preferred
+		// live candidate's first permitted lane.
+		cand := cands[firstLive]
+		ch := n.topo.Channel(w.cur, cand)
+		lo, _ := n.laneRange(w, cand, dst)
 		lane := topology.ChannelID(int(ch)*n.vcs + lo)
 		w.waiting = lane
 		n.channels[lane].queue.Push(w)
@@ -311,6 +346,13 @@ func (n *Network) acquire(w *worm, next topology.NodeID, ch topology.ChannelID) 
 	st := &n.channels[ch]
 	if st.holder != nil {
 		panic("network: acquiring a held channel")
+	}
+	if h := n.health; h != nil {
+		// The robustness suite's always-on invariant: no worm ever
+		// acquires a lane of a dead channel or a lane into a dead node.
+		if h.linkDown[int(ch)/n.vcs] || h.nodeDown[next] {
+			panic(fmt.Sprintf("network: acquiring dead lane %d into node %d", ch, next))
+		}
 	}
 	st.holder = w
 	n.noteAcquire(ch)

@@ -1,0 +1,120 @@
+package scenario_test
+
+// Fault-scenario goldens and the empty-plan identity matrix.
+//
+// The goldens pin the OUTPUT OF the fault-injection subsystem at its
+// introduction — coverage curves for the three registered fault
+// scenarios, each rendered at three worker counts so determinism and
+// results are pinned together. Regenerate only for an intentional
+// behaviour change:
+//
+//	UPDATE_FAULT_GOLDENS=1 go test ./internal/scenario -run FaultGolden
+//
+// The identity matrix is the subsystem's zero-cost guarantee: adding
+// an EMPTY FaultSpec to any pre-existing scenario must leave its
+// output byte-identical to the goldens those scenarios were pinned
+// against — the fault machinery is provably unengaged until a fault
+// actually fires.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/export"
+	"repro/internal/scenario"
+)
+
+// faultGoldenCases shrink the three fault scenarios to a 4×4×4 shape
+// and a short failed-link sweep that still crosses from full coverage
+// into real degradation.
+func faultGoldenCases() map[string][]scenario.Option {
+	return map[string][]scenario.Option{
+		"fig2-faults": {
+			scenario.WithMesh(4, 4, 4),
+			scenario.WithXs(0, 2, 6),
+			scenario.WithReps(6), scenario.WithSeed(2005),
+		},
+		"faults-adaptive": {
+			scenario.WithMesh(4, 4, 4),
+			scenario.WithXs(0, 2, 6),
+			scenario.WithReps(6), scenario.WithSeed(2005),
+		},
+		"faults-transient": {
+			scenario.WithMesh(4, 4, 4),
+			scenario.WithXs(0, 2, 4),
+			scenario.WithReps(6), scenario.WithSeed(2005),
+		},
+	}
+}
+
+func TestFaultGoldens(t *testing.T) {
+	update := os.Getenv("UPDATE_FAULT_GOLDENS") != ""
+	for name, opts := range faultGoldenCases() {
+		for _, procs := range []int{1, 4, 0} {
+			res := runScenario(t, name, append(opts, scenario.WithProcs(procs))...)
+			var csv bytes.Buffer
+			if err := export.NewCSVSink(&csv).Emit(res); err != nil {
+				t.Fatal(err)
+			}
+			if update && procs == 1 {
+				if err := os.WriteFile(filepath.Join("testdata", name+".txt"),
+					[]byte(res.Figure.Format()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join("testdata", name+".csv"),
+					csv.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got, want := res.Figure.Format(), golden(t, name+".txt"); got != want {
+				t.Errorf("%s at procs=%d: text differs from golden\n--- want ---\n%s\n--- got ---\n%s",
+					name, procs, want, got)
+			}
+			if got, want := csv.String(), golden(t, name+".csv"); got != want {
+				t.Errorf("%s at procs=%d: CSV differs from golden", name, procs)
+			}
+		}
+	}
+}
+
+// TestEmptyFaultPlanGoldenIdentity re-runs every golden-pinned
+// scenario with an explicit empty FaultSpec and compares against the
+// SAME goldens the fault-free runs are pinned to.
+func TestEmptyFaultPlanGoldenIdentity(t *testing.T) {
+	withEmptyFaults := func(s *scenario.Spec) { s.Faults = &scenario.FaultSpec{} }
+	cases := map[string][]scenario.Option{
+		"fig1":  {scenario.WithSizes([]int{4, 4, 4}, []int{6, 6, 6}), scenario.WithReps(5), scenario.WithSeed(2005)},
+		"fig1b": {scenario.WithSizes([]int{4, 4, 4}, []int{6, 6, 6}), scenario.WithReps(5), scenario.WithSeed(2005)},
+		"fig2": {
+			scenario.WithSizes([]int{4, 4, 4}, []int{4, 4, 8}),
+			scenario.WithReps(6), scenario.WithSeed(2005),
+		},
+		"fig3": {
+			scenario.WithLoads(0.005, 0.02), scenario.WithBatches(4, 20, 1), scenario.WithSeed(2005),
+		},
+		"fig4": {
+			scenario.WithMesh(6, 6, 8),
+			scenario.WithLoads(0.005, 0.02), scenario.WithBatches(4, 20, 1), scenario.WithSeed(2005),
+		},
+	}
+	for _, name := range []string{"ablation-length", "ablation-hop", "ablation-substrate", "ablation-ports"} {
+		cases[name] = []scenario.Option{
+			scenario.WithMesh(4, 4, 4), scenario.WithLength(64),
+			scenario.WithReps(3), scenario.WithSeed(5),
+		}
+	}
+	for name, opts := range torusGoldenCases() {
+		cases[name] = opts
+	}
+	for name, opts := range cases {
+		res := runScenario(t, name, append(opts, withEmptyFaults)...)
+		checkText(t, name+".txt", res.Figure)
+		checkCSV(t, name+".csv", res)
+		if name == "fig2" {
+			checkText(t, "table1.txt", res.Table1)
+			checkText(t, "table2.txt", res.Table2)
+		}
+	}
+}

@@ -107,8 +107,24 @@ func WithInterarrival(gap float64) Option {
 	return func(s *Spec) { s.Interarrival = gap }
 }
 
-// WithMetric selects the contended y value (MetricCV or
-// MetricLatency).
+// WithMetric selects the contended y value (MetricCV, MetricLatency,
+// or — under fault injection — MetricCoverage / MetricInflation).
 func WithMetric(m Metric) Option {
 	return func(s *Spec) { s.Metric = m }
+}
+
+// WithFaults fails n random undirected links in every cell of a
+// contended scenario (n <= 0 keeps the scenario's registered fault
+// plan, typically none). On the faults axis the sweep value supplies
+// the count instead, so this option is a no-op there.
+func WithFaults(links int) Option {
+	return func(s *Spec) {
+		if links <= 0 {
+			return
+		}
+		if s.Faults == nil {
+			s.Faults = &FaultSpec{}
+		}
+		s.Faults.Links = links
+	}
 }

@@ -250,6 +250,56 @@ func init() {
 		},
 	})
 	Register(Definition{
+		Name:    "fig2-faults",
+		Summary: "NEW: delivery coverage vs failed links — RD/EDN/DB/AB on an 8×8×8 mesh and torus",
+		New: func() Spec {
+			return Spec{
+				Name: "fig2-faults", ID: "Fig.2-faults",
+				Workload: Contended, Axis: AxisFaults,
+				Dims:  []int{8, 8, 8},
+				Topos: []string{TopoMesh, TopoTorus},
+				Xs:    []float64{0, 4, 8, 16, 32, 64},
+				// Static fail-stop faults from t=0: nothing ever heals,
+				// so dead-ended worms drop immediately (Wait 0).
+				Faults: &FaultSpec{},
+				Title:  "Broadcast delivery coverage vs failed links on mesh and torus (L=64, Ts=1.5 µs)",
+			}
+		},
+	})
+	Register(Definition{
+		Name:    "faults-adaptive",
+		Summary: "NEW: AB coverage under failed links — west-first adaptivity vs plain DOR",
+		New: func() Spec {
+			return Spec{
+				Name: "faults-adaptive", ID: "Faults-adaptive",
+				Workload: Contended, Axis: AxisFaults,
+				Dims:       []int{8, 8, 8},
+				Algorithms: []string{"AB"},
+				Substrates: []string{"west-first", "dor"},
+				Xs:         []float64{0, 4, 8, 16, 32, 64},
+				Faults:     &FaultSpec{},
+				Title:      "AB delivery coverage vs failed links: west-first vs DOR (L=64, Ts=1.5 µs)",
+			}
+		},
+	})
+	Register(Definition{
+		Name:    "faults-transient",
+		Summary: "NEW: coverage under link churn — waves of transient failures with parked-worm recovery",
+		New: func() Spec {
+			return Spec{
+				Name: "faults-transient", ID: "Faults-transient",
+				Workload: Contended, Axis: AxisFaults,
+				Dims: []int{8, 8, 8},
+				Xs:   []float64{0, 4, 8, 16, 32},
+				// Four waves of x links, each healing after 25 µs; a
+				// dead-ended worm may park up to 15 µs awaiting the heal,
+				// so recovery — not just loss — shapes the curve.
+				Faults: &FaultSpec{At: 10, UpAfter: 25, Period: 50, Strikes: 4, Wait: 15},
+				Title:  "Broadcast delivery coverage under link churn (L=64, Ts=1.5 µs)",
+			}
+		},
+	})
+	Register(Definition{
 		Name:    "saturation",
 		Summary: "NEW: mean broadcast latency vs injection gap on 8×8×8 (the perf benchmark's workload as a sweep)",
 		New: func() Spec {

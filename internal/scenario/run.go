@@ -113,7 +113,14 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	res := &Result{Spec: rs}
 	switch rs.Workload {
 	case Contended:
-		err = runContended(ctx, &rs, algos, res)
+		switch {
+		case rs.Axis == AxisFaults:
+			err = runFaults(ctx, &rs, algos, res)
+		case rs.Faults.active():
+			err = runContendedFaulted(ctx, &rs, algos, res)
+		default:
+			err = runContended(ctx, &rs, algos, res)
+		}
 	case Mixed:
 		err = runMixed(ctx, &rs, algos, res)
 	default:

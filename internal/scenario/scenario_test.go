@@ -79,7 +79,10 @@ func TestRegistryRoundTrip(t *testing.T) {
 // legacy ones are covered by the experiments determinism tests):
 // Run's output is byte-identical for any worker count.
 func TestRunDeterministicAcrossProcs(t *testing.T) {
-	for _, name := range []string{"fig1-ts", "fig2-torus", "fig2-torus-vc", "saturation", "saturation-torus"} {
+	for _, name := range []string{
+		"fig1-ts", "fig2-torus", "fig2-torus-vc", "saturation", "saturation-torus",
+		"fig2-faults", "faults-adaptive", "faults-transient",
+	} {
 		t.Run(name, func(t *testing.T) {
 			render := func(procs int) string {
 				spec, err := scenario.Build(name, scenario.WithProcs(procs))
@@ -159,6 +162,17 @@ func TestValidateRejectsContradictorySpecs(t *testing.T) {
 		// would silently mislabel their points.
 		{Workload: scenario.Contended, Axis: scenario.AxisVCs, Xs: []float64{0.5, 1}},
 		{Workload: scenario.Uncontended, Axis: scenario.AxisVCs, Dims: []int{3, 3}, Xs: []float64{1.5}},
+		// Active faults need the contended workload; the faults axis
+		// sweeps integer link counts; churn needs heal timings; Topos
+		// and the degradation metrics are fault-axis-only.
+		{Workload: scenario.Uncontended, Faults: &scenario.FaultSpec{Links: 4}},
+		{Workload: scenario.Contended, Axis: scenario.AxisFaults, Xs: []float64{0, 2.5}},
+		{Workload: scenario.Contended, Axis: scenario.AxisFaults, Faults: &scenario.FaultSpec{Strikes: 2}},
+		{Workload: scenario.Contended, Topos: []string{scenario.TopoMesh, scenario.TopoTorus}},
+		{Workload: scenario.Contended, Axis: scenario.AxisFaults, Topos: []string{"hyperloop"}},
+		{Workload: scenario.Contended, Metric: scenario.MetricCoverage},
+		{Workload: scenario.Contended, Metric: scenario.MetricInflation, Axis: scenario.AxisFaults, Xs: []float64{2, 4}},
+		{Workload: scenario.Contended, Axis: scenario.AxisFaults, Artifact: scenario.ArtifactTable1},
 	}
 	for i, spec := range bad {
 		if _, err := scenario.Run(context.Background(), spec); err == nil {

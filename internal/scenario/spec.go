@@ -56,6 +56,11 @@ const (
 	// (uncontended or contended workloads; primarily a torus study —
 	// on meshes extra VCs only relieve head-of-line blocking).
 	AxisVCs Axis = "vcs"
+	// AxisFaults sweeps the number of failed undirected links
+	// (contended workload); x is the failed-link count and the fault
+	// sets nest along the axis — a larger x fails a strict superset
+	// of a smaller x's links (see internal/fault.RandomLinks).
+	AxisFaults Axis = "faults"
 )
 
 // Metric selects the y value a contended scenario reports.
@@ -67,6 +72,14 @@ const (
 	MetricCV Metric = "cv"
 	// MetricLatency reports the mean broadcast latency.
 	MetricLatency Metric = "latency"
+	// MetricCoverage reports delivery coverage — the fraction of
+	// destinations each broadcast reached. Only meaningful with fault
+	// injection (it is identically 1 on a pristine network).
+	MetricCoverage Metric = "coverage"
+	// MetricInflation reports latency inflation: each faulted cell's
+	// mean reached-destination latency over the pristine (x=0) cell's
+	// of the same series. Faults axis only; the sweep must start at 0.
+	MetricInflation Metric = "inflation"
 )
 
 // Artifact names the primary output of a scenario — what a CSV sink
@@ -115,6 +128,10 @@ type Spec struct {
 	Axis Axis
 	// Topo is the topology kind: TopoMesh (default) or TopoTorus.
 	Topo string
+	// Topos, on the faults axis only, compares topology kinds side by
+	// side: every (algorithm, kind) pair becomes one series under the
+	// same fault plan family. nil means just Topo.
+	Topos []string
 	// Dims is the fixed topology shape for non-size axes (default
 	// 8×8×8).
 	Dims []int
@@ -149,6 +166,13 @@ type Spec struct {
 	// Interarrival is the contended mean injection gap in µs
 	// (default 5, Fig. 2's light overlapping load).
 	Interarrival float64
+	// Faults configures deterministic fault injection (faults.go).
+	// nil leaves the fault machinery entirely unengaged. The empty
+	// FaultSpec is valid on ANY workload and is a guaranteed no-op:
+	// output stays byte-identical to a nil-Faults run. An active
+	// fault set (links, nodes or churn strikes) needs the contended
+	// workload.
+	Faults *FaultSpec
 	// PerNodeInterarrival, when set, overrides Interarrival with
 	// PerNodeInterarrival/Nodes so the per-node broadcast rate is
 	// constant across sizes.
@@ -221,7 +245,9 @@ func (s Spec) applyDefaults() Spec {
 	if s.Ts == 0 {
 		s.Ts = 1.5
 	}
-	if s.VCs == 0 {
+	if s.VCs == 0 && len(s.Topos) == 0 {
+		// A multi-kind faults sweep resolves VCs per series instead
+		// (vcsFor), so a mesh/torus comparison gets each kind's default.
 		if s.Topo == TopoTorus {
 			s.VCs = 2
 		} else {
@@ -229,7 +255,19 @@ func (s Spec) applyDefaults() Spec {
 		}
 	}
 	if s.Metric == "" {
-		s.Metric = MetricCV
+		if s.Axis == AxisFaults {
+			s.Metric = MetricCoverage
+		} else {
+			s.Metric = MetricCV
+		}
+	}
+	if s.Axis == AxisFaults {
+		if s.Xs == nil {
+			s.Xs = []float64{0, 4, 8, 16, 32, 64}
+		}
+		if s.Faults == nil {
+			s.Faults = &FaultSpec{}
+		}
 	}
 	if s.Length == 0 {
 		switch s.Workload {
@@ -289,7 +327,7 @@ func (s *Spec) validate() error {
 	}
 	valid := map[Workload][]Axis{
 		Uncontended: {AxisSize, AxisLength, AxisHopDelay, AxisPorts, AxisTs, AxisSubstrate, AxisVCs},
-		Contended:   {AxisSize, AxisInterarrival, AxisVCs},
+		Contended:   {AxisSize, AxisInterarrival, AxisVCs, AxisFaults},
 		Mixed:       {AxisLoad},
 	}
 	ok := false
@@ -320,6 +358,72 @@ func (s *Spec) validate() error {
 				return fmt.Errorf("scenario %s: VC sweep value %g is not an integer >= 1", s.Name, x)
 			}
 		}
+	}
+	if s.Axis == AxisFaults {
+		// The run loop truncates x to a failed-link count.
+		for _, x := range s.Xs {
+			if x < 0 || x != float64(int(x)) {
+				return fmt.Errorf("scenario %s: failed-link sweep value %g is not an integer >= 0", s.Name, x)
+			}
+		}
+		for _, kind := range s.Topos {
+			if kind != TopoMesh && kind != TopoTorus {
+				return fmt.Errorf("scenario %s: unknown topology kind %q in Topos", s.Name, kind)
+			}
+		}
+		if len(s.Substrates) > 0 {
+			if len(s.Algorithms) != 1 {
+				return fmt.Errorf("scenario %s: a substrate comparison under faults needs ONE algorithm, got %v",
+					s.Name, s.Algorithms)
+			}
+			if len(s.Topos) > 1 {
+				return fmt.Errorf("scenario %s: Substrates and multiple Topos cannot combine", s.Name)
+			}
+			for _, sub := range s.Substrates {
+				switch sub {
+				case "west-first", "odd-even", "dor", "dateline-dor":
+				default:
+					return fmt.Errorf("scenario %s: unknown substrate %q", s.Name, sub)
+				}
+			}
+		}
+	} else if len(s.Topos) > 0 {
+		return fmt.Errorf("scenario %s: Topos is only valid on the faults axis", s.Name)
+	}
+	switch s.Metric {
+	case MetricCV, MetricLatency:
+	case MetricCoverage:
+		if s.Axis != AxisFaults && !s.Faults.active() {
+			return fmt.Errorf("scenario %s: metric %q needs fault injection", s.Name, s.Metric)
+		}
+	case MetricInflation:
+		if s.Axis != AxisFaults {
+			return fmt.Errorf("scenario %s: metric %q needs the faults axis", s.Name, s.Metric)
+		}
+		if len(s.Xs) == 0 || s.Xs[0] != 0 {
+			return fmt.Errorf("scenario %s: the inflation metric needs x=0 (its pristine twin) as the first sweep value", s.Name)
+		}
+	default:
+		return fmt.Errorf("scenario %s: unknown metric %q", s.Name, s.Metric)
+	}
+	if f := s.Faults; f != nil {
+		if f.Links < 0 || f.Nodes < 0 || f.Strikes < 0 {
+			return fmt.Errorf("scenario %s: negative fault count (links %d, nodes %d, strikes %d)",
+				s.Name, f.Links, f.Nodes, f.Strikes)
+		}
+		if f.At < 0 || f.UpAfter < 0 || f.Period < 0 || f.Wait < 0 {
+			return fmt.Errorf("scenario %s: negative fault timing", s.Name)
+		}
+		if f.Strikes > 0 && (f.UpAfter <= 0 || f.Period <= 0) {
+			return fmt.Errorf("scenario %s: churn (Strikes=%d) needs positive UpAfter and Period", s.Name, f.Strikes)
+		}
+		if (f.active() || s.Axis == AxisFaults) && s.Workload != Contended {
+			return fmt.Errorf("scenario %s: fault injection needs the contended workload", s.Name)
+		}
+	}
+	if (s.Faults.active() || s.Axis == AxisFaults) && s.Artifact != ArtifactFigure {
+		return fmt.Errorf("scenario %s: artifact %q cannot combine with fault injection (tables assume full delivery)",
+			s.Name, s.Artifact)
 	}
 	if len(s.Algorithms) == 0 {
 		return fmt.Errorf("scenario %s: no algorithms", s.Name)
@@ -414,9 +518,14 @@ func (s *Spec) headings(m *topology.Mesh) (title, xlabel, ylabel string) {
 			dX = "virtual channels"
 		}
 	case Contended:
-		if s.Metric == MetricLatency {
+		switch s.Metric {
+		case MetricLatency:
 			dY = "latency (µs)"
-		} else {
+		case MetricCoverage:
+			dY = "coverage"
+		case MetricInflation:
+			dY = "latency inflation"
+		default:
 			dY = "CV"
 		}
 		switch s.Axis {
@@ -433,6 +542,13 @@ func (s *Spec) headings(m *topology.Mesh) (title, xlabel, ylabel string) {
 		case AxisVCs:
 			dTitle = fmt.Sprintf("Broadcast performance vs virtual channels on %s (L=%d, Ts=%g µs)", name, s.Length, s.Ts)
 			dX = "virtual channels"
+		case AxisFaults:
+			where := name
+			if where == "" {
+				where = "degraded networks"
+			}
+			dTitle = fmt.Sprintf("Broadcast degradation vs failed links on %s (L=%d, Ts=%g µs)", where, s.Length, s.Ts)
+			dX = "failed links"
 		}
 	case Mixed:
 		dTitle = fmt.Sprintf("Mean latency vs traffic load on %s (L=%d flits, %g%% unicast / %g%% broadcast)",

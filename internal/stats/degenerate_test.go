@@ -1,0 +1,84 @@
+package stats
+
+// Degenerate-variance regressions for the fault studies: a faulted
+// replication can record ZERO delivered destinations — a coverage
+// accumulator that only ever sees 0 (or, pristine, only 1) — and the
+// CI machinery must stay finite and NaN-free on such constant
+// streams, pin the half-width at exactly 0, and keep returning +Inf
+// (never NaN or a negative t) for intervals no data can support.
+
+import (
+	"math"
+	"testing"
+)
+
+// TestConstantStreamCI: an all-zero coverage stream (every broadcast
+// lost everything) and an all-one stream (pristine) have variance 0,
+// CV 0 and a zero-width interval — not NaN.
+func TestConstantStreamCI(t *testing.T) {
+	for _, v := range []float64{0, 1} {
+		var a Accumulator
+		for i := 0; i < 8; i++ {
+			a.Add(v)
+		}
+		if got := a.Variance(); got != 0 {
+			t.Errorf("constant %g stream: variance %v, want 0", v, got)
+		}
+		if got := a.StdDev(); got != 0 || math.IsNaN(got) {
+			t.Errorf("constant %g stream: stddev %v, want 0", v, got)
+		}
+		if got := a.CV(); got != 0 || math.IsNaN(got) {
+			t.Errorf("constant %g stream: CV %v, want 0", v, got)
+		}
+		ci := a.Confidence95()
+		if ci.Mean != v || ci.HalfWide != 0 || ci.N != 8 {
+			t.Errorf("constant %g stream: CI %+v, want {Mean:%g HalfWide:0 N:8}", v, ci, v)
+		}
+	}
+}
+
+// TestVarianceClampedAfterMerge: merging many near-constant
+// accumulators must never surface a negative variance (float
+// cancellation in the Chan cross-term) — StdDev stays real.
+func TestVarianceClampedAfterMerge(t *testing.T) {
+	const v = 0.1 // not exactly representable: exercises cancellation
+	var total Accumulator
+	for i := 0; i < 64; i++ {
+		var part Accumulator
+		for j := 0; j < 3; j++ {
+			part.Add(v)
+		}
+		total.Merge(&part)
+	}
+	if got := total.Variance(); got < 0 || math.IsNaN(got) {
+		t.Fatalf("merged constant stream: variance %v, want >= 0", got)
+	}
+	if got := total.StdDev(); math.IsNaN(got) {
+		t.Fatalf("merged constant stream: stddev is NaN")
+	}
+}
+
+// TestNoDataIntervals: zero and one observation cannot bound a mean —
+// the interval is infinitely wide, and the underlying t critical
+// value for df <= 0 is +Inf rather than a panic or a garbage value.
+func TestNoDataIntervals(t *testing.T) {
+	for _, df := range []int{0, -1} {
+		if got := TCritical95(df); !math.IsInf(got, 1) {
+			t.Errorf("TCritical95(%d) = %v, want +Inf", df, got)
+		}
+	}
+	var empty Accumulator
+	ci := empty.Confidence95()
+	if ci.Mean != 0 || !math.IsInf(ci.HalfWide, 1) || ci.N != 0 {
+		t.Errorf("empty accumulator CI %+v, want {0 +Inf 0}", ci)
+	}
+	var one Accumulator
+	one.Add(0) // a single replication that delivered nothing
+	ci = one.Confidence95()
+	if ci.Mean != 0 || !math.IsInf(ci.HalfWide, 1) || ci.N != 1 {
+		t.Errorf("single-observation CI %+v, want {0 +Inf 1}", ci)
+	}
+	if !math.IsInf(ci.RelativeWidth(), 1) {
+		t.Errorf("zero-mean relative width %v, want +Inf", ci.RelativeWidth())
+	}
+}

@@ -55,8 +55,14 @@ func (a *Accumulator) Min() float64 { return a.min }
 func (a *Accumulator) Max() float64 { return a.max }
 
 // Variance returns the unbiased sample variance (n-1 denominator).
+// The result is clamped at zero: Welford's update keeps m2
+// non-negative analytically, but Merge's cross-term can leave it a
+// few ulps below zero on near-constant streams — coverage
+// accumulators in fault studies sit at exactly 0 or 1 for entire
+// replications — and a negative variance would poison StdDev/CV with
+// NaN.
 func (a *Accumulator) Variance() float64 {
-	if a.n < 2 {
+	if a.n < 2 || a.m2 <= 0 {
 		return 0
 	}
 	return a.m2 / float64(a.n-1)

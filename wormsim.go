@@ -400,9 +400,18 @@ var (
 	WithBatches = scenario.WithBatches
 	// WithInterarrival sets the contended mean injection gap in µs.
 	WithInterarrival = scenario.WithInterarrival
-	// WithMetric selects the contended y value ("cv" or "latency").
+	// WithMetric selects the contended y value ("cv", "latency", or —
+	// under fault injection — "coverage" / "inflation").
 	WithMetric = scenario.WithMetric
+	// WithFaults fails n random undirected links in every cell of a
+	// contended scenario (<= 0 keeps the registered fault plan).
+	WithFaults = scenario.WithFaults
 )
+
+// FaultSpec declares a scenario's deterministic fault injection:
+// failed links/nodes, onset and heal timings, churn waves, and the
+// dead-ended worm grace period. See Scenario.Faults.
+type FaultSpec = scenario.FaultSpec
 
 // NewTextSink returns a sink rendering results in the paper's
 // aligned-table layout.
