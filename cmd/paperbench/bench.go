@@ -11,6 +11,11 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/broadcast"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
 )
 
 // Benchmark-emission path: paperbench -benchjson FILE runs the Fig. 2
@@ -56,12 +61,15 @@ type benchResult struct {
 // when empty); the torus phase runs the same saturation workload on
 // the wraparound twin of the bench mesh with two dateline VCs, so one
 // artifact carries the mesh trajectory and the torus datapoint side
-// by side.
+// by side. Store records the substrate memory model of a scale-
+// workload phase ("dense" or "lazy"; empty on the trajectory phases,
+// which always measure the dense store).
 type benchPhase struct {
 	Recorded  string        `json:"recorded"`
 	GoVersion string        `json:"go_version"`
 	Calendar  string        `json:"calendar,omitempty"`
 	Topo      string        `json:"topo,omitempty"`
+	Store     string        `json:"store,omitempty"`
 	Results   []benchResult `json:"results"`
 }
 
@@ -76,6 +84,10 @@ type benchSummary struct {
 	// NsRatio is total to-phase ns/op over total from-phase ns/op;
 	// below 1 is a speedup.
 	NsRatio float64 `json:"ns_ratio"`
+	// BytesReductionPct is the overall percentage reduction in
+	// bytes/op, to-phase vs from-phase — the headline of a
+	// dense-vs-lazy scale pair.
+	BytesReductionPct float64 `json:"bytes_reduction_pct,omitempty"`
 	// PerAlgorithm maps algorithm name to its allocs/op reduction %.
 	PerAlgorithm map[string]float64 `json:"per_algorithm_allocs_reduction_pct"`
 	// PerAlgorithmEventsSpeedup maps algorithm name to the to-phase
@@ -83,35 +95,68 @@ type benchSummary struct {
 	PerAlgorithmEventsSpeedup map[string]float64 `json:"per_algorithm_events_speedup,omitempty"`
 }
 
-// benchFile is the whole BENCH_*.json artifact.
-type benchFile struct {
-	Schema   string `json:"schema"`
-	Workload struct {
-		Mesh         []int   `json:"mesh"`
-		Length       int     `json:"length_flits"`
-		Broadcasts   int     `json:"broadcasts"`
-		Interarrival float64 `json:"interarrival_us"`
-		Seed         uint64  `json:"seed"`
-	} `json:"workload"`
-	Phases  map[string]*benchPhase `json:"phases"`
-	Summary *benchSummary          `json:"summary,omitempty"`
+// benchWorkload identifies the measured workload; phases are only
+// comparable within one workload, and -benchguard refuses artifacts
+// whose workloads differ. Kind is empty for the Fig. 2 saturation
+// trajectory (the historical artifacts) and "scale-multicast" for the
+// million-node sparse-traffic workload; Dests is the multicast fanout
+// of the latter.
+type benchWorkload struct {
+	Kind         string  `json:"kind,omitempty"`
+	Mesh         []int   `json:"mesh"`
+	Length       int     `json:"length_flits"`
+	Broadcasts   int     `json:"broadcasts"`
+	Interarrival float64 `json:"interarrival_us"`
+	Dests        int     `json:"dests,omitempty"`
+	Seed         uint64  `json:"seed"`
 }
 
-// runBenchJSON executes the saturation benchmark and merges the
-// results into path under the given phase. benchtime is forwarded to
-// the testing package ("" keeps the 1s default; "1x" suits CI smoke).
-// topo selects the topology the workload runs on: "mesh" (the
-// trajectory the BENCH_* artifacts track) or "torus" (the wraparound
-// twin with two dateline VCs, recorded as its own phase).
-func runBenchJSON(path, phase, benchtime, topo string) error {
+// benchFile is the whole BENCH_*.json artifact.
+type benchFile struct {
+	Schema   string                 `json:"schema"`
+	Workload benchWorkload          `json:"workload"`
+	Phases   map[string]*benchPhase `json:"phases"`
+	Summary  *benchSummary          `json:"summary,omitempty"`
+}
+
+// runBenchJSON dispatches one benchmark-and-record pass. benchtime is
+// forwarded to the testing package ("" keeps the 1s default; "1x"
+// suits CI smoke). workload selects what is measured: "saturation"
+// (the Fig. 2 trajectory workload the BENCH_* artifacts track) or
+// "scale" (the million-node sparse-multicast workload whose dense and
+// lazy phases measure the substrate memory models). topo selects the
+// saturation topology: "mesh" or "torus" (the wraparound twin with two
+// dateline VCs, recorded as its own phase).
+func runBenchJSON(path, phase, benchtime, topo, workload string) error {
 	if benchtime != "" {
 		testing.Init()
 		if err := flag.Set("test.benchtime", benchtime); err != nil {
 			return fmt.Errorf("paperbench: bad -benchtime %q: %v", benchtime, err)
 		}
 	}
+	switch workload {
+	case "saturation":
+		return runBenchSaturation(path, phase, topo)
+	case "scale":
+		if topo != "mesh" {
+			return fmt.Errorf("paperbench: the scale workload is mesh-only; drop -benchtopo %s", topo)
+		}
+		return runBenchScale(path, phase)
+	}
+	return fmt.Errorf("paperbench: -benchworkload %q (want saturation or scale)", workload)
+}
+
+// runBenchSaturation executes the saturation benchmark and merges the
+// results into path under the given phase.
+func runBenchSaturation(path, phase, topo string) error {
 	if topo != "mesh" && topo != "torus" {
 		return fmt.Errorf("paperbench: -benchtopo %q (want mesh or torus)", topo)
+	}
+	// dense/lazy name the scale workload's store phases; a saturation
+	// measurement recorded under them would corrupt the dense-vs-lazy
+	// summary of a scale artifact.
+	if phase == "dense" || phase == "lazy" {
+		return fmt.Errorf("paperbench: -benchphase %s is a scale-workload phase; pass -benchworkload scale", phase)
 	}
 
 	// A phase named after a calendar must be measured on that
@@ -138,15 +183,9 @@ func runBenchJSON(path, phase, benchtime, topo string) error {
 		return fmt.Errorf("paperbench: -benchphase torus needs -benchtopo torus")
 	}
 
-	file, err := loadBenchFile(path)
-	switch {
-	case os.IsNotExist(err):
-		file = &benchFile{Schema: benchSchema}
-	case err != nil:
+	file, err := loadOrInitBenchFile(path)
+	if err != nil {
 		return err
-	}
-	if file.Phases == nil {
-		file.Phases = map[string]*benchPhase{}
 	}
 	// Same-kernel phase pairs must stay same-kernel: refuse to record
 	// a baseline/optimized (or ladder/torus) phase on a different
@@ -165,25 +204,15 @@ func runBenchJSON(path, phase, benchtime, topo string) error {
 
 	seed := uint64(2005)
 	cfg := wormsim.SaturationConfig(seed)
-	var workload = file.Workload // zero value when the file is new
-	workload.Mesh = wormsim.SaturationDims()
-	workload.Length = cfg.Length
-	workload.Broadcasts = cfg.Broadcasts
-	workload.Interarrival = cfg.Interarrival
-	workload.Seed = seed
-	// Phases are only comparable when measured on the same workload:
-	// refuse to merge into an artifact recorded under different
-	// parameters rather than let summarize report a "speedup" that is
-	// really a workload change.
-	if len(file.Phases) > 0 {
-		old, _ := json.Marshal(file.Workload)
-		cur, _ := json.Marshal(workload)
-		if string(old) != string(cur) {
-			return fmt.Errorf("paperbench: %s was recorded on workload %s, current workload is %s; start a fresh artifact",
-				path, old, cur)
-		}
+	if err := setBenchWorkload(file, path, benchWorkload{
+		Mesh:         wormsim.SaturationDims(),
+		Length:       cfg.Length,
+		Broadcasts:   cfg.Broadcasts,
+		Interarrival: cfg.Interarrival,
+		Seed:         seed,
+	}); err != nil {
+		return err
 	}
-	file.Workload = workload
 
 	m := wormsim.NewMesh(wormsim.SaturationDims()...)
 	bcfg := wormsim.SaturationConfig(seed)
@@ -237,7 +266,182 @@ func runBenchJSON(path, phase, benchtime, topo string) error {
 	}
 	file.Phases[phase] = p
 	file.Summary = summarizeFile(file)
+	return writeBenchFile(path, file)
+}
 
+// The scale workload: one 64-destination multicast on a million-node
+// (2^20) mesh. Traffic touches a vanishing fraction of the substrate,
+// so the dense store's up-front per-lane arrays dominate its per-run
+// footprint while the lazy store allocates only the pages the worms
+// actually cross — the dense-vs-lazy phase pair of a scale artifact
+// measures exactly that gap. Destinations are spread evenly along the
+// node-ID space, so the measurement is deterministic and no locality
+// flatters the lazy store.
+func scaleDims() []int { return []int{128, 128, 64} }
+
+const (
+	scaleDests  = 64  // multicast fanout
+	scaleLength = 256 // message length in flits
+	scaleChunk  = 8   // destinations carried per worm (Multicast.MaxPerPath)
+)
+
+// runBenchScale executes the scale benchmark on one substrate memory
+// model (phase "dense" or "lazy") and merges the result into path.
+func runBenchScale(path, phase string) error {
+	if phase != "dense" && phase != "lazy" {
+		return fmt.Errorf("paperbench: the scale workload records store phases; -benchphase %q (want dense or lazy)", phase)
+	}
+	file, err := loadOrInitBenchFile(path)
+	if err != nil {
+		return err
+	}
+	if err := setBenchWorkload(file, path, benchWorkload{
+		Kind:       "scale-multicast",
+		Mesh:       scaleDims(),
+		Length:     scaleLength,
+		Broadcasts: 1,
+		Dests:      scaleDests,
+	}); err != nil {
+		return err
+	}
+	// The dense/lazy pair must share a kernel, or the pair's ns ratio
+	// would attribute the calendar's speedup to the store.
+	activeCal := wormsim.DefaultCalendar().String()
+	partnerName := "lazy"
+	if phase == "lazy" {
+		partnerName = "dense"
+	}
+	if partner := file.Phases[partnerName]; partner != nil && partner.Calendar != "" && partner.Calendar != activeCal {
+		return fmt.Errorf("paperbench: phase %q was recorded on the %s calendar but -calendar is %s; the dense/lazy pair must share a kernel",
+			partnerName, partner.Calendar, activeCal)
+	}
+
+	cfg := wormsim.DefaultConfig()
+	var m *topology.Mesh
+	if phase == "lazy" {
+		m = topology.NewMeshImplicit(scaleDims()...)
+		cfg.Store = network.StoreLazy
+	} else {
+		m = topology.NewMesh(scaleDims()...)
+		cfg.Store = network.StoreDense
+	}
+	dests := make([]topology.NodeID, 0, scaleDests)
+	for i := 1; i <= scaleDests; i++ {
+		dests = append(dests, topology.NodeID(i*(m.Nodes()/(scaleDests+1))))
+	}
+	mc := broadcast.NewMulticast(scaleChunk)
+
+	p := &benchPhase{
+		Recorded:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Calendar:  activeCal,
+		Store:     phase,
+	}
+	var events uint64
+	var cv float64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			events, cv, err = runScaleOp(m, mc, dests, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if r.N == 0 {
+		return fmt.Errorf("paperbench: scale benchmark did not run")
+	}
+	nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+	res := benchResult{
+		Name:        mc.Name(),
+		Iterations:  r.N,
+		NsPerOp:     nsPerOp,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		EventsPerOp: events,
+		MeanCV:      cv,
+	}
+	if nsPerOp > 0 {
+		res.EventsPerSec = float64(events) / (nsPerOp * 1e-9)
+	}
+	p.Results = []benchResult{res}
+	fmt.Fprintf(os.Stderr, "bench %s/%s: %.0f ns/op  %d allocs/op  %d B/op  %.0f events/sec\n",
+		phase, res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.EventsPerSec)
+
+	file.Phases[phase] = p
+	file.Summary = summarizeFile(file)
+	return writeBenchFile(path, file)
+}
+
+// runScaleOp plans and executes one multicast on an idle network over
+// m. It mirrors broadcast.RunMulticast but keeps the simulator handle,
+// so the op can report kernel events alongside the CV of the
+// destination arrival times.
+func runScaleOp(m *topology.Mesh, mc broadcast.Multicast, dests []topology.NodeID, cfg network.Config) (uint64, float64, error) {
+	plan, err := mc.PlanMulticast(m, 0, dests)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := broadcast.ValidateMulticast(m, plan, dests); err != nil {
+		return 0, 0, err
+	}
+	s := sim.New()
+	net, err := network.New(s, m, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	r, err := broadcast.Execute(net, plan, broadcast.Options{Length: scaleLength, Tag: "multicast"})
+	if err != nil {
+		return 0, 0, err
+	}
+	s.Run()
+	var acc stats.Accumulator
+	for _, d := range dests {
+		at := r.Arrival[d]
+		if at < 0 {
+			return 0, 0, fmt.Errorf("paperbench: multicast destination %d never received (stuck: %v)", d, net.Stuck())
+		}
+		acc.Add(float64(at - r.Start))
+	}
+	return s.Fired(), acc.CV(), nil
+}
+
+// setBenchWorkload records the workload an artifact measures. Phases
+// are only comparable when measured on one workload, so merging into
+// an artifact recorded under different parameters is refused rather
+// than letting summarize report a "speedup" that is really a workload
+// change.
+func setBenchWorkload(file *benchFile, path string, cur benchWorkload) error {
+	if len(file.Phases) > 0 {
+		old, _ := json.Marshal(file.Workload)
+		now, _ := json.Marshal(cur)
+		if string(old) != string(now) {
+			return fmt.Errorf("paperbench: %s was recorded on workload %s, current workload is %s; start a fresh artifact",
+				path, old, now)
+		}
+	}
+	file.Workload = cur
+	return nil
+}
+
+// loadOrInitBenchFile reads one bench artifact, returning a fresh one
+// when path does not exist yet.
+func loadOrInitBenchFile(path string) (*benchFile, error) {
+	file, err := loadBenchFile(path)
+	switch {
+	case os.IsNotExist(err):
+		file = &benchFile{Schema: benchSchema}
+	case err != nil:
+		return nil, err
+	}
+	if file.Phases == nil {
+		file.Phases = map[string]*benchPhase{}
+	}
+	return file, nil
+}
+
+// writeBenchFile persists one bench artifact.
+func writeBenchFile(path string, file *benchFile) error {
 	out, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		return err
@@ -267,9 +471,13 @@ func summarizeFile(file *benchFile) *benchSummary {
 		if name == "torus" {
 			return p.Topo == "torus"
 		}
+		// A store phase must measure the store it is named after.
+		if name == "dense" || name == "lazy" {
+			return p.Store == "" || p.Store == name
+		}
 		return p.Topo == "" || p.Topo == "mesh"
 	}
-	for _, pair := range [][2]string{{"heap", "ladder"}, {"ladder", "torus"}, {"baseline", "optimized"}} {
+	for _, pair := range [][2]string{{"heap", "ladder"}, {"ladder", "torus"}, {"baseline", "optimized"}, {"dense", "lazy"}} {
 		a, b := file.Phases[pair[0]], file.Phases[pair[1]]
 		if !coherent(pair[0], a) || !coherent(pair[1], b) {
 			continue
@@ -301,7 +509,7 @@ func summarize(from, to *benchPhase) *benchSummary {
 		PerAlgorithm:              map[string]float64{},
 		PerAlgorithmEventsSpeedup: map[string]float64{},
 	}
-	var baseAllocs, optAllocs int64
+	var baseAllocs, optAllocs, baseBytes, optBytes int64
 	var baseNs, optNs float64
 	for _, r := range to.Results {
 		b, ok := base[r.Name]
@@ -310,6 +518,8 @@ func summarize(from, to *benchPhase) *benchSummary {
 		}
 		baseAllocs += b.AllocsPerOp
 		optAllocs += r.AllocsPerOp
+		baseBytes += b.BytesPerOp
+		optBytes += r.BytesPerOp
 		baseNs += b.NsPerOp
 		optNs += r.NsPerOp
 		if b.AllocsPerOp > 0 {
@@ -322,6 +532,9 @@ func summarize(from, to *benchPhase) *benchSummary {
 	if baseAllocs > 0 {
 		s.AllocsReductionPct = 100 * float64(baseAllocs-optAllocs) / float64(baseAllocs)
 	}
+	if baseBytes > 0 {
+		s.BytesReductionPct = 100 * float64(baseBytes-optBytes) / float64(baseBytes)
+	}
 	if baseNs > 0 {
 		s.NsRatio = optNs / baseNs
 	}
@@ -329,8 +542,11 @@ func summarize(from, to *benchPhase) *benchSummary {
 }
 
 // guardPhases orders phase labels from most to least preferred when
-// picking an artifact's representative (best-engineered) phase.
-var guardPhases = []string{"ladder", "optimized", "baseline"}
+// picking an artifact's representative (best-engineered) phase. The
+// store phases trail the trajectory phases: they only appear in scale
+// artifacts, where "lazy" is the engineered store and "dense" the
+// reference.
+var guardPhases = []string{"ladder", "optimized", "baseline", "lazy", "dense"}
 
 // loadBenchFile reads and schema-checks one bench artifact.
 func loadBenchFile(path string) (*benchFile, error) {
@@ -352,10 +568,16 @@ func loadBenchFile(path string) (*benchFile, error) {
 // representative phase of the artifact at newPath against the one at
 // basePath — no benchmarks are run, both artifacts are committed
 // measurements — and errors if any algorithm's events/sec dropped, or
-// allocs/op rose, beyond the relative tolerance.
-func runBenchGuard(newPath, basePath string, tol float64) error {
+// allocs/op or bytes/op rose, beyond the relative tolerance. Mode
+// "alloc" skips the events/sec floor: allocation counts are
+// machine-independent, so that mode suits guarding a freshly measured
+// artifact against a committed one recorded on different hardware.
+func runBenchGuard(newPath, basePath string, tol float64, mode string) error {
 	if basePath == "" {
 		return fmt.Errorf("paperbench: -benchguard needs -benchbaseline")
+	}
+	if mode != "full" && mode != "alloc" {
+		return fmt.Errorf("paperbench: -benchguardmode %q (want full or alloc)", mode)
 	}
 	newFile, err := loadBenchFile(newPath)
 	if err != nil {
@@ -400,20 +622,30 @@ func runBenchGuard(newPath, basePath string, tol float64) error {
 			continue
 		}
 		compared++
-		evRatio, alRatio := 0.0, 0.0
+		evRatio, alRatio, byRatio := 0.0, 0.0, 0.0
 		if b.EventsPerSec > 0 {
 			evRatio = r.EventsPerSec / b.EventsPerSec
 		}
 		if b.AllocsPerOp > 0 {
 			alRatio = float64(r.AllocsPerOp) / float64(b.AllocsPerOp)
 		}
-		fmt.Printf("  %-4s events/sec %11.0f -> %11.0f (%.2fx)   allocs/op %7d -> %7d (%.2fx)\n",
-			r.Name, b.EventsPerSec, r.EventsPerSec, evRatio, b.AllocsPerOp, r.AllocsPerOp, alRatio)
-		if r.EventsPerSec < b.EventsPerSec*(1-tol) {
+		if b.BytesPerOp > 0 {
+			byRatio = float64(r.BytesPerOp) / float64(b.BytesPerOp)
+		}
+		fmt.Printf("  %-4s events/sec %11.0f -> %11.0f (%.2fx)   allocs/op %7d -> %7d (%.2fx)   bytes/op %9d -> %9d (%.2fx)\n",
+			r.Name, b.EventsPerSec, r.EventsPerSec, evRatio, b.AllocsPerOp, r.AllocsPerOp, alRatio, b.BytesPerOp, r.BytesPerOp, byRatio)
+		if mode == "full" && r.EventsPerSec < b.EventsPerSec*(1-tol) {
 			failures = append(failures, fmt.Sprintf("%s events/sec regressed: %.0f -> %.0f", r.Name, b.EventsPerSec, r.EventsPerSec))
 		}
 		if float64(r.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tol) {
 			failures = append(failures, fmt.Sprintf("%s allocs/op regressed: %d -> %d", r.Name, b.AllocsPerOp, r.AllocsPerOp))
+		}
+		// The bytes/op ceiling belongs to the allocation gate only:
+		// historical trajectory pairs legitimately trade bytes for
+		// speed (PR 4's ladder arena grew DB/AB bytes/op), so "full"
+		// keeps its original events/sec + allocs/op contract.
+		if mode == "alloc" && b.BytesPerOp > 0 && float64(r.BytesPerOp) > float64(b.BytesPerOp)*(1+tol) {
+			failures = append(failures, fmt.Sprintf("%s bytes/op regressed: %d -> %d", r.Name, b.BytesPerOp, r.BytesPerOp))
 		}
 	}
 	if compared == 0 {

@@ -29,10 +29,20 @@
 //	-benchtopo T       workload topology: mesh (default) or torus (the
 //	                   wraparound twin with two dateline VCs, recorded
 //	                   as the "torus" phase)
+//	-benchworkload W   what to measure: saturation (default, the
+//	                   trajectory above) or scale — one 64-destination
+//	                   multicast on the 2^20-node mesh, recorded under
+//	                   -benchphase dense or lazy so one artifact
+//	                   carries both substrate memory models and a
+//	                   bytes/op reduction summary
 //	-benchguard FILE   offline regression gate: compare FILE's best
 //	                   phase against -benchbaseline's and fail if any
 //	                   algorithm lost events/sec or gained allocs/op
-//	                   beyond -benchtol (no benchmarks are run)
+//	                   beyond -benchtol (no benchmarks are run);
+//	                   -benchguardmode alloc swaps the machine-bound
+//	                   events/sec floor for a bytes/op ceiling, so
+//	                   fresh measurements can be guarded against
+//	                   committed artifacts on any machine
 //
 // The committed trajectory: BENCH_pr2.json (baseline vs optimized,
 // both on the heap) and BENCH_pr4.json (heap vs ladder), produced by
@@ -79,12 +89,14 @@ func main() {
 		calName = flag.String("calendar", "ladder", "event calendar backing the simulation kernel: ladder or heap (byte-identical output, different speed)")
 
 		benchJSON     = flag.String("benchjson", "", "run the saturation-load benchmark and merge results into this JSON artifact (skips the figures)")
-		benchPhase    = flag.String("benchphase", "optimized", "phase label for -benchjson results (heap, ladder, baseline, optimized, torus, ci, ...)")
+		benchPhase    = flag.String("benchphase", "optimized", "phase label for -benchjson results (heap, ladder, baseline, optimized, torus, ci, ...; dense or lazy with -benchworkload scale)")
+		benchWork     = flag.String("benchworkload", "saturation", "workload for -benchjson: saturation (the Fig. 2 trajectory) or scale (64-destination multicast on the 2^20-node mesh; phases dense/lazy measure the substrate memory models)")
 		benchTopo     = flag.String("benchtopo", "mesh", "topology for -benchjson: mesh (the trajectory workload) or torus (wraparound twin, two dateline VCs, phase \"torus\")")
 		benchTime     = flag.String("benchtime", "", "benchmark duration per algorithm for -benchjson, as for go test (e.g. 1s, 5x); empty = testing default")
 		benchGuard    = flag.String("benchguard", "", "compare this bench artifact against -benchbaseline and exit nonzero on regression (offline; skips the figures)")
 		benchBaseline = flag.String("benchbaseline", "", "baseline bench artifact for -benchguard")
 		benchTol      = flag.Float64("benchtol", 0.05, "relative tolerance for -benchguard (0.05 = 5%)")
+		benchGdMode   = flag.String("benchguardmode", "full", "what -benchguard enforces: full (events/sec floor + allocs/op ceiling) or alloc (allocs/op + bytes/op ceilings — machine-independent, for guarding fresh measurements against committed artifacts)")
 	)
 	flag.Parse()
 
@@ -96,14 +108,14 @@ func main() {
 	wormsim.SetDefaultCalendar(cal)
 
 	if *benchGuard != "" {
-		if err := runBenchGuard(*benchGuard, *benchBaseline, *benchTol); err != nil {
+		if err := runBenchGuard(*benchGuard, *benchBaseline, *benchTol, *benchGdMode); err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, *benchPhase, *benchTime, *benchTopo); err != nil {
+		if err := runBenchJSON(*benchJSON, *benchPhase, *benchTime, *benchTopo, *benchWork); err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			os.Exit(1)
 		}

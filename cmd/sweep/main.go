@@ -14,6 +14,11 @@
 // starts; the fault-axis scenarios (fig2-faults, faults-adaptive,
 // faults-transient) sweep the count instead and ignore the flag.
 //
+// The -store flag forces the substrate memory model (dense up-front
+// arrays or the paged lazy store); empty keeps the scenario's default,
+// which is dense below 2^16 nodes and lazy at or above. Output is
+// byte-identical either way.
+//
 // The -calendar flag selects the simulation kernel's event calendar
 // (ladder, the default, or the legacy binary heap). Output is
 // byte-identical either way — the knob exists for cross-checking and
@@ -53,6 +58,7 @@ func main() {
 		out      = flag.String("o", "", "output file (default stdout)")
 		procs    = flag.Int("procs", 0, "max parallel replications (0 = all cores); output is identical for any value")
 		faults   = flag.Int("faults", 0, "fail this many random undirected links in every cell of a contended scenario (0 = scenario default)")
+		store    = flag.String("store", "", "substrate memory model: auto, dense, or lazy (empty = scenario default)")
 		calName  = flag.String("calendar", "ladder", "event calendar backing the simulation kernel: ladder or heap (byte-identical output, different speed)")
 	)
 	flag.Parse()
@@ -76,6 +82,7 @@ func main() {
 		scenario.WithSeed(*seed),
 		scenario.WithProcs(*procs),
 		scenario.WithFaults(*faults),
+		scenario.WithStore(*store),
 	}
 	if *meshSpec != "" {
 		dims, err := parseDims(*meshSpec)

@@ -22,9 +22,9 @@ import (
 
 func main() {
 	res, err := wormsim.RunScenario(context.Background(), "fig3",
-		wormsim.WithLoadScale(1),                 // literal msg/ms per node
-		wormsim.WithLoads(0.5, 1, 2, 4, 8, 16),   // msg/ms per node
-		wormsim.WithBatches(8, 50, 1),            // 8 batches of 50, first discarded
+		wormsim.WithLoadScale(1),               // literal msg/ms per node
+		wormsim.WithLoads(0.5, 1, 2, 4, 8, 16), // msg/ms per node
+		wormsim.WithBatches(8, 50, 1),          // 8 batches of 50, first discarded
 		wormsim.WithSeed(42),
 	)
 	if err != nil {

@@ -24,6 +24,11 @@ type StepStats struct {
 // ceil(log2 N) steps while DB and AB concentrate them in their last
 // one or two.
 func StepBreakdown(m *topology.Mesh, r *Result) []StepStats {
+	if r.Streaming() {
+		// Per-node arrival times no longer exist; attribution is
+		// impossible by design, not by accident.
+		panic("broadcast: StepBreakdown needs a retained result (run below StreamThreshold or without Options.Stream)")
+	}
 	// earliest step covering each node.
 	stepOf := make(map[topology.NodeID]int)
 	for _, s := range r.Plan.Sends {

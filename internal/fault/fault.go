@@ -189,9 +189,13 @@ type Link struct {
 // order. Wraparound links appear once, at their lower endpoint.
 func Links(m *topology.Mesh) []Link {
 	var out []Link
+	buf := make([]topology.NodeID, 0, 2*m.NDims())
 	for id := 0; id < m.Nodes(); id++ {
 		from := topology.NodeID(id)
-		for _, to := range m.Adjacent(from) {
+		// AppendNeighbors (same order as Adjacent) keeps implicit
+		// meshes table-free and reuses one neighbor buffer either way.
+		buf = m.AppendNeighbors(from, buf[:0])
+		for _, to := range buf {
 			if to > from {
 				out = append(out, Link{A: from, B: to})
 			}

@@ -7,7 +7,6 @@ import (
 	"repro/internal/network"
 	"repro/internal/routing"
 	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/topology"
 )
 
@@ -118,7 +117,7 @@ func ContendedCVStudy(m *topology.Mesh, algo broadcast.Algorithm, cfg ContendedC
 				algo.Name(), r.Informed, m.Nodes())
 		}
 		out.Latency.Add(r.Latency())
-		out.CV.Add(stats.CVOf(r.DestinationLatencies()))
+		out.CV.Add(r.DestinationCV())
 	}
 	return out, nil
 }

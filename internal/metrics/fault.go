@@ -162,11 +162,15 @@ func DegradedStudy(m *topology.Mesh, algo broadcast.Algorithm, cfg DegradedConfi
 	out.Dropped = net.Dropped()
 	dests := float64(m.Nodes() - 1)
 	for _, r := range results {
-		lats := r.DestinationLatencies()
-		out.Coverage.Add(float64(len(lats)) / dests)
-		if len(lats) > 0 {
-			out.Latency.Add(stats.MeanOf(lats))
-			out.CV.Add(stats.CVOf(lats))
+		// DestinationCount == len(DestinationLatencies()) — arrivals
+		// minus the source — and the accessors reproduce MeanOf/CVOf's
+		// exact accumulation on retained results, so this loop's output
+		// is unchanged while streaming results need no arrival arrays.
+		covered := r.DestinationCount()
+		out.Coverage.Add(float64(covered) / dests)
+		if covered > 0 {
+			out.Latency.Add(r.DestinationMean())
+			out.CV.Add(r.DestinationCV())
 		}
 	}
 	return out, nil

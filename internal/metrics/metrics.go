@@ -79,7 +79,7 @@ func SingleSourceStudyOn(p *runner.Pool, m *topology.Mesh, algo broadcast.Algori
 		}
 		return singleRep{
 			latency:  r.Latency(),
-			cv:       stats.CVOf(r.DestinationLatencies()),
+			cv:       r.DestinationCV(),
 			steps:    r.Plan.Steps,
 			messages: r.Plan.MessageCount(),
 		}, nil

@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/broadcast"
+	"repro/internal/fault"
+	"repro/internal/network"
+	"repro/internal/topology"
+)
+
+// The dense/lazy differential: the dense store with materialized
+// adjacency and the lazy store with implicit adjacency are the same
+// simulator. Every study below runs twice — once per substrate — and
+// the results must be deeply equal: same accumulator internals (so
+// same values in the same order, not just close means), same event
+// counts, same drops and coverage. This is the observational-
+// equivalence pin the store refactor rests on; the goldens only cover
+// dense runs.
+
+// storePair builds the two substrate flavours of one shape.
+func storePair(dims []int, torus bool) (dense, lazy *topology.Mesh) {
+	if torus {
+		return topology.NewTorus(dims...), topology.NewTorusImplicit(dims...)
+	}
+	return topology.NewMesh(dims...), topology.NewMeshImplicit(dims...)
+}
+
+// quickShapes generates random 1–3-dim shapes with extents 3–5 (a
+// torus extent below 3 has no wraparound channel), a topology kind,
+// an algorithm, a seed and a fault budget.
+func quickShapes(algos int) *quick.Config {
+	return &quick.Config{
+		MaxCount: 10,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			dims := make([]int, 1+r.Intn(3))
+			for i := range dims {
+				dims[i] = 3 + r.Intn(3)
+			}
+			vals[0] = reflect.ValueOf(dims)
+			vals[1] = reflect.ValueOf(r.Intn(2) == 1)
+			vals[2] = reflect.ValueOf(uint64(r.Int63()))
+			vals[3] = reflect.ValueOf(uint8(r.Intn(algos)))
+		},
+	}
+}
+
+// diffAlgo picks an algorithm the shape admits: RD plans on any mesh,
+// DB and AB need 2 or 3 dimensions, EDN exactly 3.
+func diffAlgo(idx uint8, ndims int) broadcast.Algorithm {
+	all := []broadcast.Algorithm{
+		broadcast.NewRD(), broadcast.NewEDN(), broadcast.NewDB(), broadcast.NewAB(),
+	}
+	algo := all[int(idx)%len(all)]
+	switch {
+	case ndims < 2:
+		return all[0]
+	case ndims != 3 && algo.Name() == "EDN":
+		return all[2]
+	}
+	return algo
+}
+
+func diffNetConfig(torus bool) network.Config {
+	cfg := network.DefaultConfig()
+	if torus {
+		cfg.VCs = 2 // dateline discipline needs two lanes on wraparound rings
+	}
+	return cfg
+}
+
+// TestStoreDifferentialContended pins dense-vs-lazy equality under
+// contended traffic on random meshes and tori.
+func TestStoreDifferentialContended(t *testing.T) {
+	check := func(dims []int, torus bool, seed uint64, algoIdx uint8) bool {
+		md, ml := storePair(dims, torus)
+		algo := diffAlgo(algoIdx, len(dims))
+		run := func(m *topology.Mesh, store network.StoreMode) *SingleSourceStats {
+			cfg := ContendedConfig{
+				Net:          diffNetConfig(torus),
+				Length:       32,
+				Broadcasts:   8,
+				Interarrival: 2,
+				Seed:         seed,
+			}
+			cfg.Net.Store = store
+			st, err := ContendedCVStudy(m, algo, cfg)
+			if err != nil {
+				t.Errorf("dims %v torus %v algo %s store %v: %v", dims, torus, algo.Name(), store, err)
+				return nil
+			}
+			return st
+		}
+		a := run(md, network.StoreDense)
+		b := run(ml, network.StoreLazy)
+		if a == nil || b == nil {
+			return false
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("dims %v torus %v algo %s seed %d: dense %+v, lazy %+v", dims, torus, algo.Name(), seed, a, b)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, quickShapes(4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreDifferentialDegraded pins dense-vs-lazy equality under
+// fault plans: identical coverage, drop counts and latency
+// accumulators, and identical fault plans generated off either
+// substrate (link enumeration order is part of the contract — fault
+// plans are permutations of it).
+func TestStoreDifferentialDegraded(t *testing.T) {
+	check := func(dims []int, torus bool, seed uint64, algoIdx uint8) bool {
+		md, ml := storePair(dims, torus)
+		algo := diffAlgo(algoIdx, len(dims))
+		k := 1 + int(seed%3)
+		planD, err := fault.RandomLinks(md, seed, k, 0)
+		if err != nil {
+			t.Errorf("dims %v torus %v: %v", dims, torus, err)
+			return false
+		}
+		planL, err := fault.RandomLinks(ml, seed, k, 0)
+		if err != nil {
+			t.Errorf("dims %v torus %v: %v", dims, torus, err)
+			return false
+		}
+		if !reflect.DeepEqual(planD, planL) {
+			t.Errorf("dims %v torus %v seed %d: fault plans differ between substrates: %+v vs %+v", dims, torus, seed, planD, planL)
+			return false
+		}
+		run := func(m *topology.Mesh, store network.StoreMode, plan *fault.Plan) *DegradationStats {
+			cfg := DegradedConfig{
+				Net:          diffNetConfig(torus),
+				Length:       32,
+				Broadcasts:   8,
+				Interarrival: 2,
+				Seed:         seed,
+				Faults:       plan,
+			}
+			cfg.Net.Store = store
+			cfg.Net.DeadWait = 5
+			st, err := DegradedStudy(m, algo, cfg)
+			if err != nil {
+				t.Errorf("dims %v torus %v algo %s store %v: %v", dims, torus, algo.Name(), store, err)
+				return nil
+			}
+			return st
+		}
+		a := run(md, network.StoreDense, planD)
+		b := run(ml, network.StoreLazy, planL)
+		if a == nil || b == nil {
+			return false
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("dims %v torus %v algo %s seed %d faults %d: dense %+v, lazy %+v",
+				dims, torus, algo.Name(), seed, k, a, b)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, quickShapes(4)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -131,7 +131,9 @@ func (n *Network) FailNode(id topology.NodeID) {
 		return
 	}
 	h.nodeDown[id] = true
-	for _, nb := range n.topo.Adjacent(id) {
+	// AppendNeighborsOf keeps implicit topologies adjacency-table-free;
+	// enumeration order matches Adjacent exactly (fault determinism).
+	for _, nb := range topology.AppendNeighborsOf(n.topo, id, nil) {
 		if out := n.topo.Channel(id, nb); out != topology.InvalidChannel {
 			n.kickWaiters(out)
 		}
@@ -158,7 +160,11 @@ func (n *Network) RestoreNode(id topology.NodeID) {
 func (n *Network) kickWaiters(ch topology.ChannelID) {
 	base := int(ch) * n.vcs
 	for l := 0; l < n.vcs; l++ {
-		st := &n.channels[base+l]
+		st := n.laneIfTouched(topology.ChannelID(base + l))
+		if st == nil {
+			// Untouched lazy lane: nothing ever queued on it.
+			continue
+		}
 		for st.queue.Len() > 0 {
 			w := st.queue.Pop()
 			if w.waiting != topology.ChannelID(base+l) {

@@ -46,6 +46,12 @@ type Config struct {
 	// network that has seen a fault (see health.go); pristine runs
 	// never read it.
 	DeadWait float64
+	// Store selects the state-allocation model (see store.go). The
+	// zero value StoreAuto keeps every network below LazyStoreThreshold
+	// nodes on the historical dense slices and switches larger ones to
+	// the paged lazy store; StoreDense/StoreLazy force a mode. The two
+	// stores are observationally equivalent.
+	Store StoreMode
 	// VCs is the number of virtual channels multiplexed over each
 	// physical channel. Zero means 1 — the paper's single-FIFO-queue
 	// channel model, byte-identical in behaviour and allocation to the
@@ -96,6 +102,9 @@ func (c Config) validate() error {
 	if c.DeadWait < 0 {
 		return fmt.Errorf("network: negative dead-hop wait %g", c.DeadWait)
 	}
+	if c.Store < StoreAuto || c.Store > StoreLazy {
+		return fmt.Errorf("network: invalid store mode %d", c.Store)
+	}
 	return nil
 }
 
@@ -137,19 +146,24 @@ type Transfer struct {
 // concurrent use; the discrete-event kernel is single-threaded by
 // design.
 type Network struct {
-	topo     topology.Topology
-	mesh     *topology.Mesh // non-nil when topo is a mesh
-	sim      *sim.Simulator
-	cfg      Config
-	dor      routing.Selector
+	topo topology.Topology
+	mesh *topology.Mesh // non-nil when topo is a mesh
+	sim  *sim.Simulator
+	cfg  Config
+	dor  routing.Selector
+	// channels/ports are the dense store; nil when lazy is non-nil.
+	// Accessor methods in store.go pick the live store, and the dense
+	// hot paths pay only the accessors' nil test.
 	channels []channelState
 	ports    []portState
+	lazy     *lazyStore
+	lanes    int // lane count in either store
 	// activeHead/activeCount track in-flight worms as an intrusive
 	// list in send order (O(1) add/remove, no hashing; see worm).
 	activeHead  *worm
 	activeCount int
-	injected uint64
-	finished uint64
+	injected    uint64
+	finished    uint64
 
 	// Hot-path caches of the Config accessors: hopDelay()/ports()
 	// branch on every call, and the inner loops read them per hop.
@@ -204,19 +218,24 @@ func New(s *sim.Simulator, topo topology.Topology, cfg Config) (*Network, error)
 	}
 	lanes := topo.ChannelSlots() * cfg.vcs()
 	n := &Network{
-		topo:      topo,
-		sim:       s,
-		cfg:       cfg,
-		channels:  make([]channelState, lanes),
-		ports:     make([]portState, topo.Nodes()),
-		hop:       cfg.hopDelay(),
-		deadWait:  cfg.DeadWait,
-		beta:      cfg.Beta,
-		nports:    cfg.ports(),
-		vcs:       cfg.vcs(),
-		busyTime:  make([]sim.Time, lanes),
-		busySince: make([]sim.Time, lanes),
-		acquires:  make([]uint64, lanes),
+		topo:     topo,
+		sim:      s,
+		cfg:      cfg,
+		lanes:    lanes,
+		hop:      cfg.hopDelay(),
+		deadWait: cfg.DeadWait,
+		beta:     cfg.Beta,
+		nports:   cfg.ports(),
+		vcs:      cfg.vcs(),
+	}
+	if cfg.Store.LazyFor(topo.Nodes()) {
+		n.lazy = newLazyStore(lanes, topo.Nodes())
+	} else {
+		n.channels = make([]channelState, lanes)
+		n.ports = make([]portState, topo.Nodes())
+		n.busyTime = make([]sim.Time, lanes)
+		n.busySince = make([]sim.Time, lanes)
+		n.acquires = make([]uint64, lanes)
 	}
 	if m, ok := topo.(*topology.Mesh); ok {
 		n.mesh = m

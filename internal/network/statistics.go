@@ -40,13 +40,39 @@ func (c ChannelStats) Utilization(now sim.Time) float64 {
 
 // noteAcquire records the moment a channel lane is granted.
 func (n *Network) noteAcquire(lane topology.ChannelID) {
-	n.busySince[lane] = n.sim.Now()
-	n.acquires[lane]++
+	if n.lazy == nil {
+		n.busySince[lane] = n.sim.Now()
+		n.acquires[lane]++
+		return
+	}
+	// The lane's page exists: acquire writes the holder before the
+	// note, and the counters live in the same page.
+	p := n.lazy.lanePageFor(int(lane))
+	p.busySince[int(lane)&pageMask] = n.sim.Now()
+	p.acquires[int(lane)&pageMask]++
 }
 
 // noteRelease accumulates the busy interval that just ended.
 func (n *Network) noteRelease(lane topology.ChannelID) {
-	n.busyTime[lane] += n.sim.Now() - n.busySince[lane]
+	if n.lazy == nil {
+		n.busyTime[lane] += n.sim.Now() - n.busySince[lane]
+		return
+	}
+	p := n.lazy.lanePageFor(int(lane))
+	p.busyTime[int(lane)&pageMask] += n.sim.Now() - p.busySince[int(lane)&pageMask]
+}
+
+// laneBusy returns one lane's accumulated busy time and acquire
+// count; an untouched lazy lane reports zeros without allocating.
+func (n *Network) laneBusy(l int) (sim.Time, uint64) {
+	if n.lazy == nil {
+		return n.busyTime[l], n.acquires[l]
+	}
+	p := n.lazy.lanePages[l>>pageBits]
+	if p == nil {
+		return 0, 0
+	}
+	return p.busyTime[l&pageMask], p.acquires[l&pageMask]
 }
 
 // ChannelStatsFor returns the occupancy record of one physical
@@ -54,8 +80,9 @@ func (n *Network) noteRelease(lane topology.ChannelID) {
 func (n *Network) ChannelStatsFor(ch topology.ChannelID) ChannelStats {
 	st := ChannelStats{Channel: ch}
 	for l := int(ch) * n.vcs; l < (int(ch)+1)*n.vcs; l++ {
-		st.BusyTime += n.busyTime[l]
-		st.Acquires += n.acquires[l]
+		busy, acq := n.laneBusy(l)
+		st.BusyTime += busy
+		st.Acquires += acq
 	}
 	return st
 }
@@ -65,8 +92,14 @@ func (n *Network) ChannelStatsFor(ch topology.ChannelID) ChannelStats {
 // locating bottlenecks such as the anchor-corner ports of the DB
 // algorithm under heavy broadcast rates.
 func (n *Network) HottestChannels(k int) []ChannelStats {
-	all := make([]ChannelStats, 0, len(n.busyTime)/n.vcs)
-	for ch := 0; ch < len(n.busyTime)/n.vcs; ch++ {
+	pre := n.lanes / n.vcs
+	if n.lazy != nil && pre > pageSize {
+		// A sparse store yields few busy channels; don't pre-size for
+		// millions.
+		pre = pageSize
+	}
+	all := make([]ChannelStats, 0, pre)
+	for ch := 0; ch < n.lanes/n.vcs; ch++ {
 		st := n.ChannelStatsFor(topology.ChannelID(ch))
 		if st.BusyTime > 0 {
 			all = append(all, st)
@@ -93,10 +126,26 @@ func (n *Network) MeanUtilization() float64 {
 	}
 	total := sim.Time(0)
 	used := 0
-	for _, busy := range n.busyTime {
-		if busy > 0 {
-			total += busy
-			used++
+	if n.lazy == nil {
+		for _, busy := range n.busyTime {
+			if busy > 0 {
+				total += busy
+				used++
+			}
+		}
+	} else {
+		// Same lane order as the dense walk — untouched pages hold only
+		// zeros, so skipping them changes nothing.
+		for _, p := range n.lazy.lanePages {
+			if p == nil {
+				continue
+			}
+			for _, busy := range p.busyTime {
+				if busy > 0 {
+					total += busy
+					used++
+				}
+			}
 		}
 	}
 	if used == 0 {

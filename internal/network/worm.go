@@ -196,7 +196,7 @@ func (n *Network) MustSend(start sim.Time, t *Transfer) {
 // requestPort claims an injection port at the worm's source or queues
 // for one.
 func (n *Network) requestPort(w *worm) {
-	p := &n.ports[w.t.Source]
+	p := n.port(w.t.Source)
 	if p.inUse < n.nports {
 		p.inUse++
 		n.grantPort(w)
@@ -215,7 +215,7 @@ func (n *Network) grantPort(w *worm) {
 // releasePort returns the source's injection port and admits the next
 // queued worm, if any.
 func (n *Network) releasePort(node topology.NodeID) {
-	p := &n.ports[node]
+	p := n.port(node)
 	if p.queue.Len() > 0 {
 		n.grantPort(p.queue.Pop())
 		return
@@ -291,7 +291,9 @@ func (n *Network) advance(w *worm) {
 		lo, hi := n.laneRange(w, cand, dst)
 		base := int(ch) * n.vcs
 		for l := lo; l < hi; l++ {
-			if n.channels[base+l].holder == nil {
+			// laneFree is the read-only probe: in lazy mode an untouched
+			// lane's page stays unallocated until a worm actually takes it.
+			if n.laneFree(topology.ChannelID(base + l)) {
 				pick, pickLane = cand, topology.ChannelID(base+l)
 				break
 			}
@@ -314,7 +316,7 @@ func (n *Network) advance(w *worm) {
 		lo, _ := n.laneRange(w, cand, dst)
 		lane := topology.ChannelID(int(ch)*n.vcs + lo)
 		w.waiting = lane
-		n.channels[lane].queue.Push(w)
+		n.lane(lane).queue.Push(w)
 		return
 	}
 	n.acquire(w, pick, pickLane)
@@ -343,7 +345,7 @@ func (n *Network) laneRange(w *worm, next, dst topology.NodeID) (int, int) {
 // acquire grants channel ch to w and schedules the header's arrival at
 // the next node.
 func (n *Network) acquire(w *worm, next topology.NodeID, ch topology.ChannelID) {
-	st := &n.channels[ch]
+	st := n.lane(ch)
 	if st.holder != nil {
 		panic("network: acquiring a held channel")
 	}
@@ -366,7 +368,7 @@ func (n *Network) acquire(w *worm, next topology.NodeID, ch topology.ChannelID) 
 
 // release frees channel ch and grants it to the head of its queue.
 func (n *Network) release(ch topology.ChannelID) {
-	st := &n.channels[ch]
+	st := n.lane(ch)
 	if st.holder == nil {
 		panic("network: releasing a free channel")
 	}

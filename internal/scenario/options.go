@@ -113,6 +113,16 @@ func WithMetric(m Metric) Option {
 	return func(s *Spec) { s.Metric = m }
 }
 
+// WithStore selects the substrate memory model: "auto" (default),
+// "dense", or "lazy". Empty keeps the scenario's registered mode.
+func WithStore(mode string) Option {
+	return func(s *Spec) {
+		if mode != "" {
+			s.Store = mode
+		}
+	}
+}
+
 // WithFaults fails n random undirected links in every cell of a
 // contended scenario (n <= 0 keeps the scenario's registered fault
 // plan, typically none). On the faults axis the sweep value supplies

@@ -111,6 +111,36 @@ func init() {
 		},
 	})
 	Register(Definition{
+		Name:    "fig1-million",
+		Summary: "NEW: Fig. 1's latency-vs-size curve extended to 2^20 nodes (lazy store, streaming stats)",
+		New: func() Spec {
+			return Spec{
+				Name: "fig1-million", ID: "Fig.1-million",
+				Workload: Uncontended, Axis: AxisSize,
+				// Picks up where fig1's 16×16×16 point stops and grows by
+				// 4x per point to a 128×128×64 = 2^20-node mesh. The
+				// 2^16+ shapes resolve to the lazy store and implicit
+				// adjacency under "auto" already; pinning "lazy" makes
+				// the scenario exercise the paged store at EVERY size, so
+				// a regression to eager allocation cannot hide in the
+				// small points.
+				Sizes: [][]int{
+					{16, 16, 16},   // 4096 — fig1's largest, the overlap point
+					{32, 32, 16},   // 2^14
+					{64, 64, 16},   // 2^16
+					{128, 64, 32},  // 2^18
+					{128, 128, 64}, // 2^20
+				},
+				Store: "lazy",
+				// Replications are expensive at a million nodes (every
+				// algorithm's plan covers every destination); three per
+				// point keeps the full curve under a few minutes while
+				// still averaging over source placement.
+				Reps: 3,
+			}
+		},
+	})
+	Register(Definition{
 		Name:    "fig2",
 		Summary: "Fig. 2: arrival-time CV vs network size (contended broadcasts)",
 		New:     fig2Spec,

@@ -148,6 +148,7 @@ func (s *Spec) netConfig() network.Config {
 	cfg := network.DefaultConfig()
 	cfg.Ts = s.Ts
 	cfg.VCs = s.VCs
+	cfg.Store = s.storeMode()
 	return cfg
 }
 

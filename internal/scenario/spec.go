@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 
+	"repro/internal/network"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -162,6 +163,13 @@ type Spec struct {
 	VCs int
 	// Metric is the contended y value (default MetricCV).
 	Metric Metric
+	// Store selects the substrate memory model: "" or "auto" (dense
+	// below 2^16 nodes, lazy at and above — the default every golden
+	// scenario resolves to dense), "dense", or "lazy". Lazy pairs a
+	// paged allocate-on-first-contention network store with implicit
+	// (table-free) topology adjacency; the two models are
+	// observationally equivalent (see internal/network/store.go).
+	Store string
 
 	// Interarrival is the contended mean injection gap in µs
 	// (default 5, Fig. 2's light overlapping load).
@@ -342,6 +350,11 @@ func (s *Spec) validate() error {
 	if s.Topo != TopoMesh && s.Topo != TopoTorus {
 		return fmt.Errorf("scenario %s: unknown topology kind %q", s.Name, s.Topo)
 	}
+	switch s.Store {
+	case "", "auto", "dense", "lazy":
+	default:
+		return fmt.Errorf("scenario %s: unknown store mode %q (want auto, dense or lazy)", s.Name, s.Store)
+	}
 	if s.Axis == AxisSize {
 		if len(s.Sizes) == 0 {
 			return fmt.Errorf("scenario %s: size axis with no sizes", s.Name)
@@ -472,10 +485,36 @@ func (s *Spec) validate() error {
 	return nil
 }
 
-// buildTopo constructs the topology for one set of dims.
+// storeMode resolves the spec's Store knob to the network layer's
+// mode.
+func (s *Spec) storeMode() network.StoreMode {
+	switch s.Store {
+	case "dense":
+		return network.StoreDense
+	case "lazy":
+		return network.StoreLazy
+	}
+	return network.StoreAuto
+}
+
+// buildTopo constructs the topology for one set of dims. A shape the
+// store mode resolves to lazy gets implicit (on-demand) adjacency —
+// same IDs, channels, routes and neighbor order as the dense table,
+// without the O(nodes) construction.
 func (s *Spec) buildTopo(dims []int) *topology.Mesh {
+	n := 1
+	for _, k := range dims {
+		n *= k
+	}
+	implicit := s.storeMode().LazyFor(n)
 	if s.Topo == TopoTorus {
+		if implicit {
+			return topology.NewTorusImplicit(dims...)
+		}
 		return topology.NewTorus(dims...)
+	}
+	if implicit {
+		return topology.NewMeshImplicit(dims...)
 	}
 	return topology.NewMesh(dims...)
 }

@@ -1,0 +1,64 @@
+package scenario
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestStoreByteIdenticalOutput runs one contended scenario end to end
+// under each substrate memory model and requires the rendered figure
+// to match byte for byte: the store is an allocation strategy, never a
+// result. (The dense twin of every golden is pinned separately by the
+// golden tests; this pins lazy against dense through the full
+// scenario pipeline — registry, fault plans, metrics, rendering.)
+func TestStoreByteIdenticalOutput(t *testing.T) {
+	render := func(store string) string {
+		spec, err := Build("fig2",
+			WithMesh(4, 4, 2),
+			WithReps(3),
+			WithSeed(7),
+			WithFaults(2),
+			WithStore(store),
+		)
+		if err != nil {
+			t.Fatalf("store %q: %v", store, err)
+		}
+		res, err := Run(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("store %q: %v", store, err)
+		}
+		return res.Figure.String()
+	}
+	dense := render("dense")
+	lazy := render("lazy")
+	if dense != lazy {
+		t.Fatalf("store changes scenario output\ndense:\n%s\nlazy:\n%s", dense, lazy)
+	}
+	if strings.TrimSpace(dense) == "" {
+		t.Fatal("scenario rendered an empty figure")
+	}
+}
+
+// TestStoreSpecValidation pins the Spec.Store knob's vocabulary
+// (validation runs at Run, after defaults are applied).
+func TestStoreSpecValidation(t *testing.T) {
+	ctx := context.Background()
+	for _, ok := range []string{"", "auto", "dense", "lazy"} {
+		spec, err := Build("fig1", WithMesh(3, 3, 2), WithReps(1), WithStore(ok))
+		if err == nil {
+			_, err = Run(ctx, spec)
+		}
+		if err != nil {
+			t.Errorf("store %q rejected: %v", ok, err)
+		}
+	}
+	spec, err := Build("fig1", WithMesh(3, 3, 2), WithReps(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Store = "paged"
+	if _, err := Run(ctx, spec); err == nil || !strings.Contains(err.Error(), "store mode") {
+		t.Errorf("store \"paged\": got %v, want a store-mode validation error", err)
+	}
+}

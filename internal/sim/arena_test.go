@@ -1,0 +1,26 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLadderArenaIndexBoundary pins the int32 arena-link overflow
+// guard at its exact boundary. The arena itself cannot be grown to
+// 2^31 slots in a test (that is ~80 GB), so the predicate alloc
+// consults is tested directly: index 2^31-1 is the last
+// representable link, so an arena already holding 2^31-1 slots must
+// refuse to grow.
+func TestLadderArenaIndexBoundary(t *testing.T) {
+	if arenaFull(math.MaxInt32 - 1) {
+		t.Fatal("arena of 2^31-2 slots reported full; last valid index unusable")
+	}
+	if !arenaFull(math.MaxInt32) {
+		t.Fatal("arena of 2^31-1 slots not reported full; next index would wrap int32")
+	}
+	// A million-node broadcast's worth of concurrently pending events
+	// must sit far inside the guard.
+	if arenaFull(16 << 20) {
+		t.Fatal("16M pending events rejected; guard is far too tight")
+	}
+}

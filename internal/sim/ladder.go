@@ -160,12 +160,24 @@ func (q *ladderQueue) alloc(e event) int32 {
 	if i >= 0 {
 		q.free = q.nodes[i].next
 	} else {
+		// The arena links are int32 to halve the slot size; its
+		// capacity is therefore 2^31-1 LIVE events. A million-node
+		// broadcast keeps well under ten million in flight, so the
+		// guard exists to turn a hypothetical silent index wrap into a
+		// loud failure, not because any workload approaches it.
+		if arenaFull(len(q.nodes)) {
+			panic("sim: ladder event arena full (2^31-1 pending events)")
+		}
 		q.nodes = append(q.nodes, arenaSlot{})
 		i = int32(len(q.nodes) - 1)
 	}
 	q.nodes[i] = arenaSlot{due: e.due, seq: e.seq, next: nilIdx, fn: e.fn, arg: e.arg}
 	return i
 }
+
+// arenaFull reports whether an arena of n slots cannot grow: the next
+// slot's index would not fit the int32 links.
+func arenaFull(n int) bool { return n >= math.MaxInt32 }
 
 // link appends arena slot i to the FIFO l.
 func (q *ladderQueue) link(l *bucketList, i int32) {

@@ -1,0 +1,117 @@
+package topology
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestImplicitAdjacencyMatchesDense pins the implicit mesh's one
+// contract: AppendNeighbors/Adjacent return exactly the dense table's
+// neighbors in exactly its order, on meshes and tori of 1–3
+// dimensions.
+func TestImplicitAdjacencyMatchesDense(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			dims := make([]int, 1+r.Intn(3))
+			for i := range dims {
+				dims[i] = 1 + r.Intn(5)
+			}
+			vals[0] = reflect.ValueOf(dims)
+			vals[1] = reflect.ValueOf(r.Intn(2) == 1)
+		},
+	}
+	check := func(dims []int, wrap bool) bool {
+		var dense, impl *Mesh
+		if wrap {
+			dense, impl = NewTorus(dims...), NewTorusImplicit(dims...)
+		} else {
+			dense, impl = NewMesh(dims...), NewMeshImplicit(dims...)
+		}
+		if !impl.Implicit() || dense.Implicit() {
+			t.Errorf("dims %v wrap %v: Implicit() flags wrong", dims, wrap)
+			return false
+		}
+		buf := make([]NodeID, 0, 8)
+		for id := 0; id < dense.Nodes(); id++ {
+			want := dense.Adjacent(NodeID(id))
+			got := impl.Adjacent(NodeID(id))
+			if len(want) != len(got) {
+				t.Errorf("dims %v wrap %v node %d: dense %v, implicit %v", dims, wrap, id, want, got)
+				return false
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Errorf("dims %v wrap %v node %d: dense %v, implicit %v", dims, wrap, id, want, got)
+					return false
+				}
+			}
+			buf = impl.AppendNeighbors(NodeID(id), buf[:0])
+			for i := range want {
+				if buf[i] != want[i] {
+					t.Errorf("dims %v wrap %v node %d: AppendNeighbors %v, dense %v", dims, wrap, id, buf, want)
+					return false
+				}
+			}
+			// The dense mesh's own AppendNeighbors must agree with its
+			// table — one arithmetic source of truth for both modes.
+			buf = dense.AppendNeighbors(NodeID(id), buf[:0])
+			for i := range want {
+				if buf[i] != want[i] {
+					t.Errorf("dims %v wrap %v node %d: dense AppendNeighbors %v, table %v", dims, wrap, id, buf, want)
+					return false
+				}
+			}
+		}
+		// Channel numbering and distances are arithmetic and must be
+		// unaffected by the storage mode.
+		for id := 0; id < dense.Nodes(); id++ {
+			for _, nb := range dense.Adjacent(NodeID(id)) {
+				if dense.Channel(NodeID(id), nb) != impl.Channel(NodeID(id), nb) {
+					t.Errorf("dims %v wrap %v: channel %d->%d differs", dims, wrap, id, nb)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestImplicitConstructionAllocs pins the point of the implicit mesh:
+// construction cost must not scale with the node count.
+func TestImplicitConstructionAllocs(t *testing.T) {
+	small := testing.AllocsPerRun(10, func() { NewMeshImplicit(4, 4) })
+	big := testing.AllocsPerRun(10, func() { NewMeshImplicit(64, 64, 16) })
+	if big != small {
+		t.Fatalf("implicit construction allocations scale with size: %v (16 nodes) vs %v (65536 nodes)", small, big)
+	}
+}
+
+// TestImplicitUnwrappedStaysImplicit pins that the canonical-frame
+// unwrap twin of an implicit torus does not materialize adjacency.
+func TestImplicitUnwrappedStaysImplicit(t *testing.T) {
+	tor := NewTorusImplicit(4, 4)
+	if !tor.Unwrapped().Implicit() {
+		t.Fatal("unwrapped twin of an implicit torus is dense")
+	}
+	dense := NewTorus(4, 4)
+	if dense.Unwrapped().Implicit() {
+		t.Fatal("unwrapped twin of a dense torus is implicit")
+	}
+	// Frames on the implicit torus plan identically to dense ones.
+	f := NewFrame(tor, tor.ID(2, 3))
+	fd := NewFrame(dense, dense.ID(2, 3))
+	for id := 0; id < tor.Nodes(); id++ {
+		if f.ToVirtual(NodeID(id)) != fd.ToVirtual(NodeID(id)) {
+			t.Fatalf("frame ToVirtual(%d) differs between implicit and dense", id)
+		}
+		if f.ToPhysical(NodeID(id)) != fd.ToPhysical(NodeID(id)) {
+			t.Fatalf("frame ToPhysical(%d) differs between implicit and dense", id)
+		}
+	}
+}

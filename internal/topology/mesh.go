@@ -40,6 +40,27 @@ type Topology interface {
 	Name() string
 }
 
+// NeighborAppender is the implicit-adjacency capability: a topology
+// that can enumerate a node's neighbors into a caller-supplied buffer
+// without materializing (or even owning) an adjacency table. Callers
+// that would otherwise hold Adjacent's shared slice across reentrant
+// calls — or that run on million-node substrates where a dense table
+// is the dominant allocation — should prefer this form when the
+// topology offers it. The neighbor order is identical to Adjacent's.
+type NeighborAppender interface {
+	AppendNeighbors(id NodeID, buf []NodeID) []NodeID
+}
+
+// AppendNeighborsOf enumerates id's neighbors through t's
+// NeighborAppender capability when present, falling back to Adjacent.
+// The result is appended to buf and returned.
+func AppendNeighborsOf(t Topology, id NodeID, buf []NodeID) []NodeID {
+	if na, ok := t.(NeighborAppender); ok {
+		return na.AppendNeighbors(id, buf)
+	}
+	return append(buf, t.Adjacent(id)...)
+}
+
 // Mesh is a k-ary n-dimensional mesh or, when Wrap is set, a torus
 // (k-ary n-cube). Dimension 0 varies fastest in the ID encoding.
 type Mesh struct {
@@ -47,7 +68,13 @@ type Mesh struct {
 	strides []int
 	n       int
 	wrap    bool
-	adj     [][]NodeID
+	// implicit suppresses the materialized adjacency table: neighbors
+	// are computed from coordinates on demand (see AppendNeighbors).
+	// The dense table costs one slice header plus one small allocation
+	// per node, which is the dominant construction cost at million-node
+	// scale; an implicit mesh allocates O(dims) regardless of n.
+	implicit bool
+	adj      [][]NodeID
 
 	// unwrapped lazily caches the wrap-free twin (same extents, no
 	// wraparound links) that unwrap frames plan on; building it costs
@@ -60,22 +87,36 @@ type Mesh struct {
 
 // NewMesh returns a mesh with the given per-dimension extents.
 // It panics if no dimensions are given or any extent is < 1.
-func NewMesh(dims ...int) *Mesh { return newMesh(false, dims) }
+func NewMesh(dims ...int) *Mesh { return newMesh(false, false, dims) }
 
 // NewTorus returns a torus (k-ary n-cube) with the given extents.
 // Wraparound links are only created along dimensions of extent >= 3,
 // since a 2-extent wraparound would duplicate the existing link.
-func NewTorus(dims ...int) *Mesh { return newMesh(true, dims) }
+func NewTorus(dims ...int) *Mesh { return newMesh(true, false, dims) }
 
-func newMesh(wrap bool, dims []int) *Mesh {
+// NewMeshImplicit returns a mesh whose adjacency is computed from
+// coordinates on demand instead of stored: construction is O(dims)
+// regardless of node count, which is what makes million-node
+// substrates affordable. It is interchangeable with NewMesh — same
+// IDs, channels, routes and neighbor order — except that Adjacent
+// allocates a fresh slice per call; hot paths should use
+// AppendNeighbors with a reused buffer.
+func NewMeshImplicit(dims ...int) *Mesh { return newMesh(false, true, dims) }
+
+// NewTorusImplicit is NewTorus with on-demand adjacency; see
+// NewMeshImplicit.
+func NewTorusImplicit(dims ...int) *Mesh { return newMesh(true, true, dims) }
+
+func newMesh(wrap, implicit bool, dims []int) *Mesh {
 	if len(dims) == 0 {
 		panic("topology: mesh needs at least one dimension")
 	}
 	m := &Mesh{
-		dims:    append([]int(nil), dims...),
-		strides: make([]int, len(dims)),
-		n:       1,
-		wrap:    wrap,
+		dims:     append([]int(nil), dims...),
+		strides:  make([]int, len(dims)),
+		n:        1,
+		wrap:     wrap,
+		implicit: implicit,
 	}
 	for d, k := range dims {
 		if k < 1 {
@@ -84,48 +125,49 @@ func newMesh(wrap bool, dims []int) *Mesh {
 		m.strides[d] = m.n
 		m.n *= k
 	}
-	m.buildAdjacency()
+	if !implicit {
+		m.buildAdjacency()
+	}
 	return m
 }
 
 func (m *Mesh) buildAdjacency() {
 	m.adj = make([][]NodeID, m.n)
-	coord := make([]int, len(m.dims))
 	for id := 0; id < m.n; id++ {
-		m.CoordInto(NodeID(id), coord)
-		var neigh []NodeID
-		for d := range m.dims {
-			for _, delta := range [2]int{+1, -1} {
-				if v, ok := m.neighborAt(coord, d, delta); ok {
-					neigh = append(neigh, v)
-				}
-			}
-		}
-		m.adj[id] = neigh
+		m.adj[id] = m.AppendNeighbors(NodeID(id), nil)
 	}
 }
 
-// neighborAt returns the node one step from coord along dimension d
-// in direction delta, honoring wraparound, and whether it exists.
-func (m *Mesh) neighborAt(coord []int, d, delta int) (NodeID, bool) {
-	k := m.dims[d]
-	c := coord[d] + delta
-	switch {
-	case c >= 0 && c < k:
-	case m.wrap && k >= 3:
-		c = (c + k) % k
-	default:
-		return 0, false
+// AppendNeighbors appends the neighbors of node id to buf and returns
+// the extended slice, computing them from coordinates — no adjacency
+// table is consulted or required, and with adequate buf capacity the
+// call does not allocate. The order is the dense table's: per
+// dimension ascending, +1 direction before -1.
+func (m *Mesh) AppendNeighbors(id NodeID, buf []NodeID) []NodeID {
+	v := int(id)
+	if v < 0 || v >= m.n {
+		panic(fmt.Sprintf("topology: node %d out of range [0,%d)", v, m.n))
 	}
-	id := 0
-	for i, v := range coord {
-		if i == d {
-			v = c
+	for d, k := range m.dims {
+		c := (v / m.strides[d]) % k
+		wrapD := m.wrap && k >= 3
+		if c+1 < k {
+			buf = append(buf, id+NodeID(m.strides[d]))
+		} else if wrapD {
+			buf = append(buf, id-NodeID(c*m.strides[d]))
 		}
-		id += v * m.strides[i]
+		if c-1 >= 0 {
+			buf = append(buf, id-NodeID(m.strides[d]))
+		} else if wrapD {
+			buf = append(buf, id+NodeID((k-1)*m.strides[d]))
+		}
 	}
-	return NodeID(id), true
+	return buf
 }
+
+// Implicit reports whether the mesh computes adjacency on demand
+// instead of storing it.
+func (m *Mesh) Implicit() bool { return m.implicit }
 
 // Nodes returns the number of nodes in the mesh.
 func (m *Mesh) Nodes() int { return m.n }
@@ -168,7 +210,9 @@ func (m *Mesh) Unwrapped() *Mesh {
 	if !m.wrap {
 		return m
 	}
-	m.unwrapOnce.Do(func() { m.unwrapped = NewMesh(m.dims...) })
+	// The twin inherits implicitness: unwrapping a million-node torus
+	// must not materialize the adjacency the torus itself avoided.
+	m.unwrapOnce.Do(func() { m.unwrapped = newMesh(false, m.implicit, m.dims) })
 	return m.unwrapped
 }
 
@@ -240,8 +284,15 @@ func (m *Mesh) CoordAxis(id NodeID, d int) int {
 }
 
 // Adjacent returns the neighbors of node id. The slice is shared; do
-// not modify it.
-func (m *Mesh) Adjacent(id NodeID) []NodeID { return m.adj[id] }
+// not modify it. On an implicit mesh each call computes a fresh slice
+// (safe for nested iteration, but allocating); hot paths there should
+// use AppendNeighbors with a reused buffer.
+func (m *Mesh) Adjacent(id NodeID) []NodeID {
+	if m.implicit {
+		return m.AppendNeighbors(id, nil)
+	}
+	return m.adj[id]
+}
 
 // Step returns the node one hop from id along dimension d in
 // direction delta (±1), wrapping on a torus with at least three

@@ -186,68 +186,6 @@ func TestDistanceIsAMetric(t *testing.T) {
 	}
 }
 
-func TestLine(t *testing.T) {
-	m := NewMesh(4, 3, 2)
-	line := m.Line(m.ID(2, 1, 1), 0)
-	if len(line) != 4 {
-		t.Fatalf("line length = %d", len(line))
-	}
-	for x, id := range line {
-		if m.CoordAxis(id, 0) != x || m.CoordAxis(id, 1) != 1 || m.CoordAxis(id, 2) != 1 {
-			t.Fatalf("line[%d] = %d has wrong coords", x, id)
-		}
-	}
-}
-
-func TestPlane(t *testing.T) {
-	m := NewMesh(4, 3, 2)
-	p := m.Plane(2, 1)
-	if len(p) != 12 {
-		t.Fatalf("plane size = %d, want 12", len(p))
-	}
-	for _, id := range p {
-		if m.CoordAxis(id, 2) != 1 {
-			t.Fatalf("node %d not in plane z=1", id)
-		}
-	}
-}
-
-func TestCorners(t *testing.T) {
-	m := NewMesh(4, 3, 2)
-	cs := m.Corners()
-	if len(cs) != 8 {
-		t.Fatalf("corner count = %d", len(cs))
-	}
-	if cs[0] != m.ID(0, 0, 0) {
-		t.Errorf("corner 0 = %d", cs[0])
-	}
-	if cs[7] != m.ID(3, 2, 1) {
-		t.Errorf("corner 7 = %d", cs[7])
-	}
-	if m.Corner(CornerMask(1)) != m.ID(3, 0, 0) {
-		t.Errorf("corner mask 1 wrong")
-	}
-}
-
-func TestNearestCornerInPlane(t *testing.T) {
-	m := NewMesh(8, 8, 4)
-	near, opp := m.NearestCornerInPlane(m.ID(1, 6, 2), 0, 1)
-	if near != m.ID(0, 7, 2) {
-		t.Errorf("near = %v, want (0,7,2)", m.Coord(near))
-	}
-	if opp != m.ID(7, 0, 2) {
-		t.Errorf("opp = %v, want (7,0,2)", m.Coord(opp))
-	}
-}
-
-func TestHalfSpace(t *testing.T) {
-	m := NewMesh(4, 4)
-	lo, hi := m.HalfSpace(m.Plane(1, 0), 0, 2)
-	if len(lo) != 2 || len(hi) != 2 {
-		t.Fatalf("split %d/%d, want 2/2", len(lo), len(hi))
-	}
-}
-
 func TestGeneralizedHypercube(t *testing.T) {
 	g := NewGeneralizedHypercube(3, 3)
 	if g.Nodes() != 9 {

@@ -1,0 +1,223 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The partition helpers are pure coordinate arithmetic: they must not
+// care whether the substrate is a mesh or a torus, materialized or
+// implicit. Each test therefore runs on all four flavours of one
+// shape.
+
+func partitionSubstrates(dims ...int) map[string]*Mesh {
+	return map[string]*Mesh{
+		"mesh":           NewMesh(dims...),
+		"mesh-implicit":  NewMeshImplicit(dims...),
+		"torus":          NewTorus(dims...),
+		"torus-implicit": NewTorusImplicit(dims...),
+	}
+}
+
+func TestLine(t *testing.T) {
+	for name, m := range partitionSubstrates(4, 3, 2) {
+		// A line through (1,2,1) along dim 0 sweeps x = 0..3 with
+		// y=2, z=1 fixed.
+		base := m.ID(1, 2, 1)
+		got := m.Line(base, 0)
+		want := []NodeID{m.ID(0, 2, 1), m.ID(1, 2, 1), m.ID(2, 2, 1), m.ID(3, 2, 1)}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: Line(%d, 0) = %v, want %v", name, base, got, want)
+		}
+		// Every line along d has length Dim(d) and includes its base.
+		for d := 0; d < m.NDims(); d++ {
+			line := m.Line(base, d)
+			if len(line) != m.Dim(d) {
+				t.Errorf("%s: Line dim %d has %d nodes, want %d", name, d, len(line), m.Dim(d))
+			}
+			found := false
+			for _, id := range line {
+				if id == base {
+					found = true
+				}
+				if m.CoordAxis(id, (d+1)%m.NDims()) != m.CoordAxis(base, (d+1)%m.NDims()) {
+					t.Errorf("%s: Line dim %d node %d strays off the line", name, d, id)
+				}
+			}
+			if !found {
+				t.Errorf("%s: Line dim %d misses its base node", name, d)
+			}
+		}
+	}
+}
+
+func TestPlane(t *testing.T) {
+	for name, m := range partitionSubstrates(3, 4, 2) {
+		// Planes along one dimension tile the node set exactly.
+		for d := 0; d < m.NDims(); d++ {
+			seen := make(map[NodeID]bool, m.Nodes())
+			for v := 0; v < m.Dim(d); v++ {
+				plane := m.Plane(d, v)
+				if len(plane) != m.Nodes()/m.Dim(d) {
+					t.Errorf("%s: Plane(%d,%d) has %d nodes, want %d", name, d, v, len(plane), m.Nodes()/m.Dim(d))
+				}
+				for i, id := range plane {
+					if m.CoordAxis(id, d) != v {
+						t.Errorf("%s: Plane(%d,%d) contains %d with coord %d", name, d, v, id, m.CoordAxis(id, d))
+					}
+					if i > 0 && plane[i-1] >= id {
+						t.Errorf("%s: Plane(%d,%d) not in increasing ID order at %d", name, d, v, i)
+					}
+					if seen[id] {
+						t.Errorf("%s: node %d in two planes along dim %d", name, id, d)
+					}
+					seen[id] = true
+				}
+			}
+			if len(seen) != m.Nodes() {
+				t.Errorf("%s: planes along dim %d cover %d of %d nodes", name, d, len(seen), m.Nodes())
+			}
+		}
+	}
+}
+
+func TestPlaneOutOfRangePanics(t *testing.T) {
+	m := NewMesh(3, 3)
+	for _, v := range []int{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Plane(0, %d) did not panic", v)
+				}
+			}()
+			m.Plane(0, v)
+		}()
+	}
+}
+
+func TestCorners(t *testing.T) {
+	for name, m := range partitionSubstrates(4, 3, 2) {
+		corners := m.Corners()
+		if len(corners) != 1<<uint(m.NDims()) {
+			t.Fatalf("%s: %d corners, want %d", name, len(corners), 1<<uint(m.NDims()))
+		}
+		if corners[0] != m.ID(0, 0, 0) {
+			t.Errorf("%s: corner 0 = %d, want origin", name, corners[0])
+		}
+		all := CornerMask(1<<uint(m.NDims()) - 1)
+		if corners[all] != m.ID(3, 2, 1) {
+			t.Errorf("%s: corner %b = %d, want far corner", name, all, corners[all])
+		}
+		// Each corner's coordinates are extremal per its mask bits,
+		// and all corners are distinct.
+		seen := make(map[NodeID]bool)
+		for mask, id := range corners {
+			for d := 0; d < m.NDims(); d++ {
+				want := 0
+				if mask&(1<<uint(d)) != 0 {
+					want = m.Dim(d) - 1
+				}
+				if got := m.CoordAxis(id, d); got != want {
+					t.Errorf("%s: corner %b coord %d = %d, want %d", name, mask, d, got, want)
+				}
+			}
+			if seen[id] {
+				t.Errorf("%s: corner %b duplicates node %d", name, mask, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestNearestCornerInPlane(t *testing.T) {
+	for name, m := range partitionSubstrates(5, 4, 3) {
+		// (1,3,2): x=1 is nearer 0 than 4; y=3 is nearer 3 than 0.
+		near, opp := m.NearestCornerInPlane(m.ID(1, 3, 2), 0, 1)
+		if want := m.ID(0, 3, 2); near != want {
+			t.Errorf("%s: nearest = %d (%v), want %d", name, near, m.Coord(near), want)
+		}
+		if want := m.ID(4, 0, 2); opp != want {
+			t.Errorf("%s: opposite = %d (%v), want %d", name, opp, m.Coord(opp), want)
+		}
+		// Nearest and opposite disagree in both plane coordinates and
+		// share every off-plane coordinate, for every node.
+		for id := 0; id < m.Nodes(); id++ {
+			n, o := m.NearestCornerInPlane(NodeID(id), 0, 1)
+			for _, d := range []int{0, 1} {
+				cn, co := m.CoordAxis(n, d), m.CoordAxis(o, d)
+				if cn != 0 && cn != m.Dim(d)-1 {
+					t.Fatalf("%s: node %d nearest coord %d = %d, not extremal", name, id, d, cn)
+				}
+				if co != m.Dim(d)-1-cn {
+					t.Fatalf("%s: node %d corners not opposite in dim %d", name, id, d)
+				}
+			}
+			if m.CoordAxis(n, 2) != m.CoordAxis(NodeID(id), 2) || m.CoordAxis(o, 2) != m.CoordAxis(NodeID(id), 2) {
+				t.Fatalf("%s: node %d corners left the plane", name, id)
+			}
+			if d := m.Unwrapped().Distance(NodeID(id), n); d > (m.Dim(0)-1+m.Dim(1)-1)/2+1 {
+				t.Fatalf("%s: node %d nearest corner at mesh distance %d, not nearest", name, id, d)
+			}
+		}
+	}
+}
+
+func TestHalfSpace(t *testing.T) {
+	for name, m := range partitionSubstrates(4, 3) {
+		ids := m.Plane(1, 1) // the y=1 row: 4 nodes
+		lo, hi := m.HalfSpace(ids, 0, 2)
+		if len(lo) != 2 || len(hi) != 2 {
+			t.Fatalf("%s: HalfSpace split %d/%d, want 2/2", name, len(lo), len(hi))
+		}
+		for _, id := range lo {
+			if m.CoordAxis(id, 0) >= 2 {
+				t.Errorf("%s: lo contains %d with x=%d", name, id, m.CoordAxis(id, 0))
+			}
+		}
+		for _, id := range hi {
+			if m.CoordAxis(id, 0) < 2 {
+				t.Errorf("%s: hi contains %d with x=%d", name, id, m.CoordAxis(id, 0))
+			}
+		}
+		// Degenerate splits keep everything on one side.
+		lo, hi = m.HalfSpace(ids, 0, 0)
+		if len(lo) != 0 || len(hi) != len(ids) {
+			t.Errorf("%s: split 0 gave %d/%d", name, len(lo), len(hi))
+		}
+		lo, hi = m.HalfSpace(ids, 0, m.Dim(0))
+		if len(lo) != len(ids) || len(hi) != 0 {
+			t.Errorf("%s: split max gave %d/%d", name, len(lo), len(hi))
+		}
+	}
+}
+
+// TestPartitionSubstrateAgreement sweeps every helper across all four
+// substrates of one shape and requires identical answers: partitions
+// are defined by coordinates alone.
+func TestPartitionSubstrateAgreement(t *testing.T) {
+	subs := partitionSubstrates(4, 3, 3)
+	ref := subs["mesh"]
+	for name, m := range subs {
+		if name == "mesh" {
+			continue
+		}
+		if got, want := m.Corners(), ref.Corners(); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: Corners = %v, want %v", name, got, want)
+		}
+		for id := 0; id < ref.Nodes(); id += 7 {
+			for d := 0; d < ref.NDims(); d++ {
+				if got, want := m.Line(NodeID(id), d), ref.Line(NodeID(id), d); !reflect.DeepEqual(got, want) {
+					t.Errorf("%s: Line(%d,%d) = %v, want %v", name, id, d, got, want)
+				}
+				if got, want := m.Plane(d, id%ref.Dim(d)), ref.Plane(d, id%ref.Dim(d)); !reflect.DeepEqual(got, want) {
+					t.Errorf("%s: Plane(%d,%d) differs", name, d, id%ref.Dim(d))
+				}
+			}
+			n0, o0 := ref.NearestCornerInPlane(NodeID(id), 0, 1)
+			n1, o1 := m.NearestCornerInPlane(NodeID(id), 0, 1)
+			if n0 != n1 || o0 != o1 {
+				t.Errorf("%s: NearestCornerInPlane(%d) = (%d,%d), want (%d,%d)", name, id, n1, o1, n0, o0)
+			}
+		}
+	}
+}

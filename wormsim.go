@@ -60,6 +60,17 @@ func NewMesh(dims ...int) *Mesh { return topology.NewMesh(dims...) }
 // NewTorus returns a torus (k-ary n-cube) with the given extents.
 func NewTorus(dims ...int) *Mesh { return topology.NewTorus(dims...) }
 
+// NewMeshImplicit returns a mesh whose adjacency is computed from
+// coordinates on demand instead of stored per node — O(dims) memory
+// regardless of node count, interchangeable with NewMesh (same IDs,
+// channels, routes and neighbor order). Build million-node substrates
+// with this and Config.Store = StoreLazy.
+func NewMeshImplicit(dims ...int) *Mesh { return topology.NewMeshImplicit(dims...) }
+
+// NewTorusImplicit is NewTorus with on-demand adjacency; see
+// NewMeshImplicit.
+func NewTorusImplicit(dims ...int) *Mesh { return topology.NewTorusImplicit(dims...) }
+
 // NewGeneralizedHypercube builds GH(dims...).
 func NewGeneralizedHypercube(dims ...int) *GeneralizedHypercube {
 	return topology.NewGeneralizedHypercube(dims...)
@@ -125,6 +136,24 @@ type (
 // DefaultConfig returns the paper's baseline timing: Ts=1.5 µs,
 // β=0.003 µs/flit, one injection port.
 func DefaultConfig() Config { return network.DefaultConfig() }
+
+// StoreMode selects the network's state-allocation model (see
+// Config.Store): dense up-front slices, a paged
+// allocate-on-first-contention store, or an automatic choice by node
+// count. The stores are observationally equivalent.
+type StoreMode = network.StoreMode
+
+const (
+	// StoreAuto (the default) picks dense below LazyStoreThreshold
+	// nodes and lazy at or above it.
+	StoreAuto = network.StoreAuto
+	// StoreDense forces the historical dense store.
+	StoreDense = network.StoreDense
+	// StoreLazy forces the paged lazy store.
+	StoreLazy = network.StoreLazy
+	// LazyStoreThreshold is StoreAuto's switchover node count.
+	LazyStoreThreshold = network.LazyStoreThreshold
+)
 
 // Calendar selects the event-calendar implementation backing a
 // simulator: CalendarLadder (the default amortized-O(1) ladder queue)
@@ -406,6 +435,9 @@ var (
 	// WithFaults fails n random undirected links in every cell of a
 	// contended scenario (<= 0 keeps the registered fault plan).
 	WithFaults = scenario.WithFaults
+	// WithStore selects the substrate memory model: "auto" (default),
+	// "dense", or "lazy" ("" keeps the registered mode).
+	WithStore = scenario.WithStore
 )
 
 // FaultSpec declares a scenario's deterministic fault injection:
