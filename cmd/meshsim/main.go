@@ -1,11 +1,22 @@
 // Command meshsim runs a single broadcast scenario on the simulated
-// wormhole mesh and reports latency and arrival-time statistics.
+// wormhole mesh or torus and reports latency and arrival-time
+// statistics.
 //
 // Examples:
 //
 //	meshsim -mesh 8x8x8 -algo AB -length 100
 //	meshsim -mesh 16x16x8 -algo RD -mode cv -reps 40
 //	meshsim -mesh 8x8x8 -algo DB -mode mixed -rate 2.5
+//	meshsim -mesh 8x8x8 -topo torus -algo AB          # dateline VCs
+//	meshsim -mesh 64x64x32 -store lazy -algo RD       # paged state
+//	meshsim -mesh 8x8x8 -calendar heap -mode cv       # legacy kernel
+//
+// The -topo, -store and -calendar flags mirror cmd/sweep's: torus
+// topologies run with two dateline virtual channels per physical
+// channel, "lazy" pages network state in on first contention (with
+// implicit adjacency, so huge shapes need no up-front allocation),
+// and the calendar selects the kernel's event queue. Output is
+// byte-identical across stores and calendars at a fixed seed.
 package main
 
 import (
@@ -30,11 +41,25 @@ func main() {
 		reps     = flag.Int("reps", 40, "replications / measured broadcasts (cv mode)")
 		gap      = flag.Float64("gap", 5, "mean broadcast inter-arrival in µs (cv mode)")
 		rate     = flag.Float64("rate", 1.0, "per-node message rate in msg/ms (mixed mode)")
+		hotspot  = flag.Float64("hotspot", 0, "fraction of mixed-mode unicasts aimed at the center node (0 = uniform)")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		topoKind = flag.String("topo", "mesh", "topology: mesh or torus (torus runs two dateline VCs)")
+		storeN   = flag.String("store", "auto", "substrate memory model: auto, dense, or lazy")
+		calName  = flag.String("calendar", "ladder", "event calendar backing the kernel: ladder or heap")
 	)
 	flag.Parse()
 
-	m, err := parseMesh(*meshSpec)
+	cal, err := wormsim.ParseCalendar(*calName)
+	if err != nil {
+		fatal(err)
+	}
+	wormsim.SetDefaultCalendar(cal)
+
+	store, err := parseStore(*storeN)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := buildTopo(*topoKind, *meshSpec, store)
 	if err != nil {
 		fatal(err)
 	}
@@ -45,6 +70,10 @@ func main() {
 	cfg := wormsim.DefaultConfig()
 	cfg.Ts = *ts
 	cfg.Beta = *beta
+	cfg.Store = store
+	if m.Wrap() {
+		cfg.VCs = 2 // dateline pair: deadlock freedom on wraparound rings
+	}
 
 	switch *mode {
 	case "single":
@@ -88,13 +117,20 @@ func main() {
 		fmt.Printf("  CV:      %.4f ± %.4f (95%% CI)\n", cv.Mean, cv.HalfWide)
 
 	case "mixed":
-		res, err := wormsim.RunMixed(m, wormsim.MixedConfig{
+		mcfg := wormsim.MixedConfig{
 			Rate:              *rate / 1000,
 			BroadcastFraction: 0.10,
 			Length:            *length,
 			Algorithm:         algo,
 			Seed:              *seed,
-		})
+		}
+		if *hotspot > 0 {
+			mcfg.HotspotFraction = *hotspot
+			mcfg.Hotspot = wormsim.NodeID(m.Nodes() / 2)
+		}
+		ncfg := cfg
+		ncfg.Ports = algo.Ports()
+		res, err := wormsim.RunMixedWith(m, ncfg, mcfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -113,17 +149,48 @@ func main() {
 	}
 }
 
-func parseMesh(spec string) (*wormsim.Mesh, error) {
+// buildTopo constructs the requested topology, pairing the lazy
+// store with implicit (computed-on-demand) adjacency so a huge shape
+// costs nothing up front — the same resolution cmd/sweep's scenarios
+// apply.
+func buildTopo(kind, spec string, store wormsim.StoreMode) (*wormsim.Mesh, error) {
 	parts := strings.Split(strings.ToLower(spec), "x")
 	dims := make([]int, 0, len(parts))
+	nodes := 1
 	for _, p := range parts {
 		v, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil || v < 1 {
 			return nil, fmt.Errorf("bad mesh spec %q", spec)
 		}
 		dims = append(dims, v)
+		nodes *= v
 	}
-	return wormsim.NewMesh(dims...), nil
+	implicit := store.LazyFor(nodes)
+	switch strings.ToLower(kind) {
+	case "mesh":
+		if implicit {
+			return wormsim.NewMeshImplicit(dims...), nil
+		}
+		return wormsim.NewMesh(dims...), nil
+	case "torus":
+		if implicit {
+			return wormsim.NewTorusImplicit(dims...), nil
+		}
+		return wormsim.NewTorus(dims...), nil
+	}
+	return nil, fmt.Errorf("unknown topology %q (want mesh or torus)", kind)
+}
+
+func parseStore(name string) (wormsim.StoreMode, error) {
+	switch strings.ToLower(name) {
+	case "", "auto":
+		return wormsim.StoreAuto, nil
+	case "dense":
+		return wormsim.StoreDense, nil
+	case "lazy":
+		return wormsim.StoreLazy, nil
+	}
+	return wormsim.StoreAuto, fmt.Errorf("unknown store %q (want auto, dense or lazy)", name)
 }
 
 func lookupAlgorithm(name string) (wormsim.Algorithm, error) {

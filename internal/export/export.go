@@ -87,6 +87,29 @@ func TableCSV(w io.Writer, t *scenario.CVTable) error {
 	return cw.Error()
 }
 
+// Formats names the result encodings NewSink dispatches over — the
+// envelope set shared by cmd/sweep (csv), cmd/paperbench (text) and
+// the wormsimd service tier (all three, per request).
+func Formats() []string { return []string{"json", "csv", "text"} }
+
+// NewSink returns the sink rendering a scenario result in the named
+// format: "csv" (the tidy per-point rows sweep emits), "json" (the
+// full result envelope with figure and table projections), or "text"
+// (the paper's aligned-table layout paperbench prints). The bytes a
+// format produces for a given resolved spec are deterministic, which
+// is what lets the service tier cache them by spec key.
+func NewSink(format string, w io.Writer) (scenario.Sink, error) {
+	switch format {
+	case "csv":
+		return NewCSVSink(w), nil
+	case "json":
+		return scenario.NewJSONSink(w), nil
+	case "text":
+		return scenario.NewTextSink(w), nil
+	}
+	return nil, fmt.Errorf("export: unknown format %q (want json, csv or text)", format)
+}
+
 // csvSink writes a scenario result's primary artifact as CSV.
 type csvSink struct{ w io.Writer }
 

@@ -1,0 +1,163 @@
+package runner
+
+// Executor is the serving-tier counterpart to Map/ForEach: a
+// LONG-LIVED priority work queue over a Pool's concurrency bound.
+// Where Map orchestrates one batch whose size is known up front, an
+// always-on service (cmd/wormsimd) receives work forever, one request
+// at a time, with callers of different urgency sharing the same
+// workers — so the executor adds the three things a batch map never
+// needs:
+//
+//   - per-task priority: higher-priority submissions overtake queued
+//     lower-priority ones (FIFO among equals, so equal-priority work
+//     is never starved or reordered);
+//   - a bounded admission queue: Submit never blocks and never buffers
+//     unboundedly — when the queue is full it fails fast with
+//     ErrQueueFull, which the service turns into explicit backpressure
+//     (HTTP 429 + Retry-After) instead of collapsing under load;
+//   - graceful draining: Close stops admission, runs everything
+//     already accepted to completion, and only then returns — the
+//     SIGTERM contract of a daemon that must not drop accepted work.
+//
+// Determinism is unaffected: the executor decides only WHEN a task
+// runs, and every task is itself a deterministic simulation whose
+// output is pinned by its spec key.
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by Submit when the bounded admission queue
+// is at capacity. Callers should shed load (retry later), not spin.
+var ErrQueueFull = errors.New("runner: admission queue full")
+
+// ErrClosed is returned by Submit after Close has begun.
+var ErrClosed = errors.New("runner: executor closed")
+
+// Executor runs submitted tasks on a fixed set of workers with
+// priority-ordered dispatch and a bounded admission queue. Construct
+// with NewExecutor; all methods are safe for concurrent use.
+type Executor struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   taskHeap
+	cap     int
+	seq     uint64
+	running int
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// task is one queued unit of work.
+type task struct {
+	prio int
+	seq  uint64 // admission order; ties break FIFO
+	fn   func()
+}
+
+// taskHeap is a max-heap by (priority, then admission order).
+type taskHeap []task
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)   { *h = append(*h, x.(task)) }
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = task{} // release the closure
+	*h = old[:n-1]
+	return t
+}
+
+// NewExecutor starts p.Procs() workers serving a queue that admits at
+// most queueCap waiting tasks (queueCap <= 0 means 1). Tasks already
+// handed to a worker do not count against the queue bound.
+func NewExecutor(p *Pool, queueCap int) *Executor {
+	if queueCap <= 0 {
+		queueCap = 1
+	}
+	e := &Executor{cap: queueCap}
+	e.cond = sync.NewCond(&e.mu)
+	workers := p.Procs()
+	e.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go e.work()
+	}
+	return e
+}
+
+func (e *Executor) work() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if len(e.queue) == 0 && e.closed {
+			e.mu.Unlock()
+			return
+		}
+		t := heap.Pop(&e.queue).(task)
+		e.running++
+		e.mu.Unlock()
+		t.fn()
+		e.mu.Lock()
+		e.running--
+		e.mu.Unlock()
+	}
+}
+
+// Submit enqueues fn at the given priority (higher runs first; equal
+// priorities run in admission order). It never blocks: when the
+// admission queue is full it returns ErrQueueFull immediately, and
+// after Close it returns ErrClosed. fn must not panic; a panicking
+// task takes its worker down.
+func (e *Executor) Submit(priority int, fn func()) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if len(e.queue) >= e.cap {
+		return ErrQueueFull
+	}
+	e.seq++
+	heap.Push(&e.queue, task{prio: priority, seq: e.seq, fn: fn})
+	e.cond.Signal()
+	return nil
+}
+
+// QueueDepth reports the number of admitted tasks not yet handed to a
+// worker.
+func (e *Executor) QueueDepth() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queue)
+}
+
+// InFlight reports the number of tasks currently executing.
+func (e *Executor) InFlight() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.running
+}
+
+// Close stops admission, lets every already-admitted task run to
+// completion, and returns once all workers have exited. It is
+// idempotent.
+func (e *Executor) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+}

@@ -1,0 +1,112 @@
+package runner
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// gateExecutor returns a single-worker executor whose worker is
+// parked inside a task until release is called — the setup every
+// ordering and admission test needs: with the one worker busy,
+// everything submitted afterwards stays queued.
+func gateExecutor(t *testing.T, queueCap int) (e *Executor, release func()) {
+	t.Helper()
+	e = NewExecutor(New(1), queueCap)
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	if err := e.Submit(0, func() { close(started); <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	var once sync.Once
+	return e, func() { once.Do(func() { close(gate) }) }
+}
+
+func TestExecutorRunsEverythingSubmitted(t *testing.T) {
+	e := NewExecutor(New(4), 128)
+	var ran atomic.Int64
+	for i := 0; i < 100; i++ {
+		for e.Submit(i%3, func() { ran.Add(1) }) == ErrQueueFull {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	e.Close()
+	if got := ran.Load(); got != 100 {
+		t.Errorf("ran %d of 100 submitted tasks", got)
+	}
+}
+
+func TestExecutorDispatchesByPriorityThenFIFO(t *testing.T) {
+	e, release := gateExecutor(t, 16)
+	var mu sync.Mutex
+	var order []int
+	submit := func(prio, id int) {
+		t.Helper()
+		if err := e.Submit(prio, func() {
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Admitted while the worker is parked: dispatch order is pure
+	// (priority, admission) order, untouched by scheduling races.
+	submit(1, 10)
+	submit(5, 50)
+	submit(3, 30)
+	submit(5, 51) // equal priority: FIFO after 50
+	submit(1, 11)
+	release()
+	e.Close()
+	want := []int{50, 51, 30, 10, 11}
+	if len(order) != len(want) {
+		t.Fatalf("ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestExecutorBoundedAdmission(t *testing.T) {
+	e, release := gateExecutor(t, 2)
+	defer func() { release(); e.Close() }()
+	if err := e.Submit(0, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Submit(0, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Submit(0, func() {}); err != ErrQueueFull {
+		t.Errorf("third queued submit: got %v, want ErrQueueFull", err)
+	}
+	if got := e.QueueDepth(); got != 2 {
+		t.Errorf("QueueDepth = %d, want 2", got)
+	}
+	if got := e.InFlight(); got != 1 {
+		t.Errorf("InFlight = %d, want 1 (the parked gate task)", got)
+	}
+}
+
+func TestExecutorCloseDrainsAdmittedWork(t *testing.T) {
+	e, release := gateExecutor(t, 16)
+	var ran atomic.Int64
+	for i := 0; i < 10; i++ {
+		if err := e.Submit(0, func() { ran.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	release()
+	e.Close() // must not return before the 10 queued tasks finish
+	if got := ran.Load(); got != 10 {
+		t.Errorf("Close returned with %d of 10 admitted tasks run", got)
+	}
+	if err := e.Submit(0, func() {}); err != ErrClosed {
+		t.Errorf("submit after Close: got %v, want ErrClosed", err)
+	}
+	e.Close() // idempotent
+}

@@ -1,0 +1,92 @@
+package runner
+
+// Cancellation with work still QUEUED — indices the pool has not yet
+// handed to any worker. The pre-existing cancellation tests cancel
+// mid-execution with every index already dispatched; the service tier
+// (internal/service) relies on the stronger property tested here: once
+// ctx fires, no queued index is ever started, on either the parallel
+// or the single-worker fast path.
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapCtxCancelWhileJobsStillQueued(t *testing.T) {
+	for _, procs := range []int{1, 3} {
+		ctx, cancel := context.WithCancel(context.Background())
+		const n = 64
+		var ran [n]atomic.Bool
+		started := make(chan int, procs)
+		gate := make(chan struct{})
+		finished := make(chan struct{})
+		var res []int
+		var err error
+		go func() {
+			defer close(finished)
+			res, err = MapCtx(ctx, New(procs), n, func(i int) (int, error) {
+				ran[i].Store(true)
+				started <- i
+				<-gate
+				return i, nil
+			})
+		}()
+		// Exactly procs jobs are in flight; the other n-procs indices
+		// are still queued. Cancel, then let the in-flight jobs finish.
+		for i := 0; i < procs; i++ {
+			<-started
+		}
+		cancel()
+		close(gate)
+		<-finished
+
+		if err != context.Canceled {
+			t.Errorf("procs=%d: err = %v, want context.Canceled", procs, err)
+		}
+		if res != nil {
+			t.Errorf("procs=%d: cancelled run returned results", procs)
+		}
+		count := 0
+		for i := range ran {
+			if ran[i].Load() {
+				count++
+			}
+		}
+		if count != procs {
+			t.Errorf("procs=%d: %d jobs ran, want exactly the %d in flight at cancel — a queued index was dispatched after ctx fired",
+				procs, count, procs)
+		}
+	}
+}
+
+func TestForEachCtxCancelWhileJobsStillQueued(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n, procs = 48, 2
+	var ran atomic.Int64
+	started := make(chan struct{}, procs)
+	gate := make(chan struct{})
+	finished := make(chan struct{})
+	var err error
+	go func() {
+		defer close(finished)
+		err = ForEachCtx(ctx, New(procs), n, func(i int) error {
+			ran.Add(1)
+			started <- struct{}{}
+			<-gate
+			return nil
+		})
+	}()
+	for i := 0; i < procs; i++ {
+		<-started
+	}
+	cancel()
+	close(gate)
+	<-finished
+	if err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != procs {
+		t.Errorf("%d jobs ran, want exactly the %d in flight at cancel", got, procs)
+	}
+}

@@ -1,0 +1,111 @@
+package scenario_test
+
+// Hotspot-pattern goldens and the uniform-identity check.
+//
+// The goldens pin fig4-hotspot's output at the pattern's
+// introduction, at three worker counts so determinism and results
+// are pinned together. Regenerate only for an intentional behaviour
+// change:
+//
+//	UPDATE_HOTSPOT_GOLDENS=1 go test ./internal/scenario -run HotspotGolden
+//
+// The identity check is the pattern's zero-cost guarantee: spelling
+// the default pattern explicitly ("uniform") on a pre-existing mixed
+// scenario leaves its output byte-identical to the goldens that
+// scenario was pinned against — the hotspot draw provably never
+// touches the random stream until the pattern is engaged.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/export"
+	"repro/internal/scenario"
+)
+
+// hotspotGoldenCases shrink fig4-hotspot to fig4's golden shape and
+// load points, so the two fixtures differ ONLY in traffic pattern.
+func hotspotGoldenCases() map[string][]scenario.Option {
+	return map[string][]scenario.Option{
+		"fig4-hotspot": {
+			scenario.WithMesh(6, 6, 8),
+			scenario.WithLoads(0.005, 0.02),
+			scenario.WithBatches(4, 20, 1),
+			scenario.WithSeed(2005),
+		},
+	}
+}
+
+func TestHotspotGoldens(t *testing.T) {
+	update := os.Getenv("UPDATE_HOTSPOT_GOLDENS") != ""
+	for name, opts := range hotspotGoldenCases() {
+		for _, procs := range []int{1, 4, 0} {
+			res := runScenario(t, name, append(opts, scenario.WithProcs(procs))...)
+			var csv bytes.Buffer
+			if err := export.NewCSVSink(&csv).Emit(res); err != nil {
+				t.Fatal(err)
+			}
+			if update && procs == 1 {
+				if err := os.WriteFile(filepath.Join("testdata", name+".txt"),
+					[]byte(res.Figure.Format()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join("testdata", name+".csv"),
+					csv.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got, want := res.Figure.Format(), golden(t, name+".txt"); got != want {
+				t.Errorf("%s at procs=%d: text differs from golden\n--- want ---\n%s\n--- got ---\n%s",
+					name, procs, want, got)
+			}
+			if got, want := csv.String(), golden(t, name+".csv"); got != want {
+				t.Errorf("%s at procs=%d: CSV differs from golden", name, procs)
+			}
+		}
+	}
+}
+
+// TestUniformPatternGoldenIdentity re-runs the golden-pinned mixed
+// scenarios with the default pattern spelled explicitly and compares
+// against the SAME goldens the implicit runs are pinned to.
+func TestUniformPatternGoldenIdentity(t *testing.T) {
+	explicitUniform := func(s *scenario.Spec) { s.Pattern = scenario.PatternUniform }
+	cases := map[string][]scenario.Option{
+		"fig3": {
+			scenario.WithLoads(0.005, 0.02), scenario.WithBatches(4, 20, 1), scenario.WithSeed(2005),
+		},
+		"fig4": {
+			scenario.WithMesh(6, 6, 8),
+			scenario.WithLoads(0.005, 0.02), scenario.WithBatches(4, 20, 1), scenario.WithSeed(2005),
+		},
+	}
+	for name, opts := range cases {
+		res := runScenario(t, name, append(opts, explicitUniform)...)
+		checkText(t, name+".txt", res.Figure)
+		checkCSV(t, name+".csv", res)
+	}
+}
+
+// TestHotspotDivergesFromUniform guards against the opposite failure:
+// the hotspot golden silently matching uniform traffic (pattern wired
+// up but never applied). At the golden config the two patterns must
+// produce different bytes.
+func TestHotspotDivergesFromUniform(t *testing.T) {
+	opts := hotspotGoldenCases()["fig4-hotspot"]
+	hot := runScenario(t, "fig4-hotspot", opts...)
+	uni := runScenario(t, "fig4", opts...)
+
+	var hotCSV, uniCSV bytes.Buffer
+	if err := export.NewCSVSink(&hotCSV).Emit(hot); err != nil {
+		t.Fatal(err)
+	}
+	if err := export.NewCSVSink(&uniCSV).Emit(uni); err != nil {
+		t.Fatal(err)
+	}
+	if hotCSV.String() == uniCSV.String() {
+		t.Error("fig4-hotspot produced byte-identical output to uniform fig4 — the hotspot pattern never engaged")
+	}
+}

@@ -123,6 +123,20 @@ func WithStore(mode string) Option {
 	}
 }
 
+// WithHotspot switches a mixed scenario's unicast background to the
+// hotspot pattern: fraction of the unicasts target the topology's
+// center node (fraction <= 0 keeps the registered pattern; the
+// registered hotspot scenarios default to 0.1).
+func WithHotspot(fraction float64) Option {
+	return func(s *Spec) {
+		if fraction <= 0 {
+			return
+		}
+		s.Pattern = PatternHotspot
+		s.HotspotFraction = fraction
+	}
+}
+
 // WithFaults fails n random undirected links in every cell of a
 // contended scenario (n <= 0 keeps the scenario's registered fault
 // plan, typically none). On the faults axis the sweep value supplies

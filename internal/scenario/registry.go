@@ -330,6 +330,23 @@ func init() {
 		},
 	})
 	Register(Definition{
+		Name:    "fig4-hotspot",
+		Summary: "NEW: Fig. 4's mixed workload with 10% of unicasts aimed at one hotspot node",
+		New: func() Spec {
+			return Spec{
+				Name: "fig4-hotspot", ID: "Fig.4-hotspot",
+				Workload: Mixed, Axis: AxisLoad,
+				Dims: []int{16, 16, 8},
+				// 10% of the unicast background converges on the center
+				// node (node 1024 of 2048), so the hotspot's injection
+				// ports and surrounding channels saturate far below the
+				// uniform pattern's knee — the first entry of the
+				// traffic-pattern zoo beyond the paper's uniform model.
+				Pattern: PatternHotspot,
+			}
+		},
+	})
+	Register(Definition{
 		Name:    "saturation",
 		Summary: "NEW: mean broadcast latency vs injection gap on 8×8×8 (the perf benchmark's workload as a sweep)",
 		New: func() Spec {

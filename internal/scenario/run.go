@@ -456,6 +456,10 @@ func runMixed(ctx context.Context, s *Spec, algos []broadcast.Algorithm, res *Re
 			MaxTime:           s.MaxTime,
 			MaxInjected:       maxInjected,
 		}
+		if s.Pattern == PatternHotspot {
+			tcfg.HotspotFraction = s.HotspotFraction
+			tcfg.Hotspot = topology.NodeID(m.Nodes() / 2)
+		}
 		r, err := traffic.RunMixedWith(m, ncfg, tcfg)
 		if err != nil {
 			return Point{}, fmt.Errorf("%s %s at %g msg/ms: %w", s.ID, algo.Name(), load, err)

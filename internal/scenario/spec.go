@@ -103,6 +103,17 @@ const (
 	TopoTorus = "torus"
 )
 
+// Unicast destination patterns of the mixed workload.
+const (
+	// PatternUniform is the paper's pattern: every unicast targets a
+	// uniformly random destination (the default).
+	PatternUniform = "uniform"
+	// PatternHotspot sends a fraction of unicasts to one hotspot
+	// node — the topology's center, node Nodes()/2 — and the rest
+	// uniformly. The classic contended-memory-module pattern.
+	PatternHotspot = "hotspot"
+)
+
 // Spec is the declarative description of one experiment scenario.
 // The zero value plus a Workload is runnable: every unset knob
 // defaults to the paper's value for that workload. Specs are plain
@@ -191,6 +202,14 @@ type Spec struct {
 	LoadScale float64
 	// BroadcastFraction is the mixed broadcast share (default 0.10).
 	BroadcastFraction float64
+	// Pattern selects the mixed unicast destination distribution:
+	// "" or PatternUniform (the paper's uniform random destinations)
+	// or PatternHotspot.
+	Pattern string
+	// HotspotFraction is the probability a unicast targets the
+	// hotspot node under PatternHotspot (default 0.1). Ignored — and
+	// rejected if set — under the uniform pattern.
+	HotspotFraction float64
 	// BatchSize, Batches, Warmup configure the mixed batch-means
 	// estimator (default 100×21, first discarded).
 	BatchSize, Batches, Warmup int
@@ -314,6 +333,12 @@ func (s Spec) applyDefaults() Spec {
 		if s.BroadcastFraction == 0 {
 			s.BroadcastFraction = 0.10
 		}
+		if s.Pattern == "" {
+			s.Pattern = PatternUniform
+		}
+		if s.Pattern == PatternHotspot && s.HotspotFraction == 0 {
+			s.HotspotFraction = 0.1
+		}
 		if s.BatchSize == 0 {
 			s.BatchSize = 100
 		}
@@ -354,6 +379,21 @@ func (s *Spec) validate() error {
 	case "", "auto", "dense", "lazy":
 	default:
 		return fmt.Errorf("scenario %s: unknown store mode %q (want auto, dense or lazy)", s.Name, s.Store)
+	}
+	switch s.Pattern {
+	case "", PatternUniform:
+		if s.HotspotFraction != 0 {
+			return fmt.Errorf("scenario %s: hotspot fraction %g needs the %s pattern", s.Name, s.HotspotFraction, PatternHotspot)
+		}
+	case PatternHotspot:
+		if s.Workload != Mixed {
+			return fmt.Errorf("scenario %s: pattern %q needs the mixed workload", s.Name, s.Pattern)
+		}
+		if s.HotspotFraction < 0 || s.HotspotFraction > 1 {
+			return fmt.Errorf("scenario %s: hotspot fraction %g outside [0,1]", s.Name, s.HotspotFraction)
+		}
+	default:
+		return fmt.Errorf("scenario %s: unknown pattern %q (want %s or %s)", s.Name, s.Pattern, PatternUniform, PatternHotspot)
 	}
 	if s.Axis == AxisSize {
 		if len(s.Sizes) == 0 {
@@ -592,6 +632,10 @@ func (s *Spec) headings(m *topology.Mesh) (title, xlabel, ylabel string) {
 	case Mixed:
 		dTitle = fmt.Sprintf("Mean latency vs traffic load on %s (L=%d flits, %g%% unicast / %g%% broadcast)",
 			name, s.Length, 100*(1-s.BroadcastFraction), 100*s.BroadcastFraction)
+		if s.Pattern == PatternHotspot {
+			dTitle = fmt.Sprintf("Mean latency vs traffic load on %s (L=%d flits, %g%% unicast / %g%% broadcast, %g%% hotspot)",
+				name, s.Length, 100*(1-s.BroadcastFraction), 100*s.BroadcastFraction, 100*s.HotspotFraction)
+		}
 		dX = "load (msg/ms)"
 		dY = "latency (µs)"
 	}

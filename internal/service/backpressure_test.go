@@ -1,0 +1,142 @@
+package service
+
+// Backpressure, deterministically: the external tests can't hold the
+// worker busy on demand (simulations are fast by design), so this
+// internal test parks the executor's only worker on a gate task and
+// drives the admission queue to a known state before every assertion.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBackpressureShedsWithErrBusy(t *testing.T) {
+	s := New(Config{Procs: 1, QueueCap: 1})
+	defer s.Close()
+
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	if err := s.exec.Submit(0, func() { close(started); <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	<-started // the one worker is now parked
+
+	seedA, seedB := uint64(1), uint64(2)
+	admitted := make(chan error, 1)
+	go func() {
+		_, _, _, err := s.Run(context.Background(),
+			&RunRequest{Scenario: "fig1", Mesh: []int{4, 4, 4}, Reps: 2, Seed: &seedA, Format: "csv"})
+		admitted <- err
+	}()
+	// Wait for the admitted miss to occupy the queue's single slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.exec.QueueDepth() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("admitted request never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Worker parked + queue full: a distinct miss must be shed NOW,
+	// synchronously, with ErrBusy.
+	_, _, _, err := s.Run(context.Background(),
+		&RunRequest{Scenario: "fig1", Mesh: []int{4, 4, 4}, Reps: 2, Seed: &seedB, Format: "csv"})
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("distinct miss against a full queue: err = %v, want ErrBusy", err)
+	}
+	if got := s.Counts().Rejected; got != 1 {
+		t.Errorf("rejected counter = %d, want 1", got)
+	}
+
+	// A shed key must not be poisoned: releasing the worker lets the
+	// admitted request finish, and the previously shed spec succeeds
+	// on retry.
+	close(gate)
+	if err := <-admitted; err != nil {
+		t.Fatalf("admitted request: %v", err)
+	}
+	if _, outcome, _, err := s.Run(context.Background(),
+		&RunRequest{Scenario: "fig1", Mesh: []int{4, 4, 4}, Reps: 2, Seed: &seedB, Format: "csv"}); err != nil || outcome != OutcomeMiss {
+		t.Errorf("retry of shed request: outcome=%s err=%v, want a clean miss", outcome, err)
+	}
+}
+
+func TestBackpressureHTTP429WithRetryAfter(t *testing.T) {
+	s := New(Config{Procs: 1, QueueCap: 1, RetryAfter: 3 * time.Second})
+	defer s.Close()
+
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	defer func() { close(gate) }()
+	if err := s.exec.Submit(0, func() { close(started); <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	seedA := uint64(1)
+	go s.Run(context.Background(),
+		&RunRequest{Scenario: "fig1", Mesh: []int{4, 4, 4}, Reps: 2, Seed: &seedA, Format: "csv"})
+	deadline := time.Now().Add(5 * time.Second)
+	for s.exec.QueueDepth() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("admitted request never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/run", "application/json",
+		strings.NewReader(`{"scenario":"fig1","mesh":[4,4,4],"reps":2,"seed":2,"format":"csv"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %s, want 429", resp.Status)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Errorf("Retry-After = %q, want \"3\"", got)
+	}
+}
+
+// TestShedResolvesRacingDedupWaiters pins the singleflight/shed
+// interaction: a waiter that joined an inflight call between
+// registration and a failed Submit must be woken with the rejection,
+// not left hanging on a call that will never run.
+func TestShedResolvesRacingDedupWaiters(t *testing.T) {
+	s := New(Config{Procs: 1, QueueCap: 1})
+	defer s.Close()
+
+	c := &call{done: make(chan struct{})}
+	s.mu.Lock()
+	s.inflight["k"] = c
+	s.mu.Unlock()
+
+	waited := make(chan error, 1)
+	go func() {
+		_, _, _, err := s.wait(context.Background(), c, time.Now(), OutcomeDedup, "k")
+		waited <- err
+	}()
+
+	s.finish("k", c, nil, ErrBusy)
+	select {
+	case err := <-waited:
+		if !errors.Is(err, ErrBusy) {
+			t.Errorf("racing waiter got %v, want ErrBusy", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("racing waiter never woken after shed")
+	}
+	s.mu.Lock()
+	_, stillThere := s.inflight["k"]
+	s.mu.Unlock()
+	if stillThere {
+		t.Error("shed call left registered in the inflight map")
+	}
+}

@@ -1,0 +1,60 @@
+package service
+
+import "container/list"
+
+// resultCache is a fixed-capacity LRU of rendered result bodies keyed
+// by (spec key, format). Determinism makes entries immortal — a cached
+// body can never go stale, only cold — so eviction is purely a memory
+// bound, and recency is the right victim order for a serving workload
+// with popular scenarios.
+//
+// The cache is not concurrency-safe; the Server guards it with its
+// own mutex so a lookup shares the lock acquisition singleflight
+// registration already needs.
+type resultCache struct {
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the cached body and refreshes its recency. The returned
+// slice is shared — callers must not mutate it.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// add inserts or refreshes key, evicting the least recently used
+// entry when over capacity.
+func (c *resultCache) add(key string, body []byte) {
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the resident entry count.
+func (c *resultCache) len() int { return c.ll.Len() }

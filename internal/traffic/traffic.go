@@ -42,6 +42,16 @@ type MixedConfig struct {
 	// selector here so the whole system benefits from adaptivity,
 	// matching the paper's attribution of AB's advantage.
 	Unicast routing.Selector
+	// HotspotFraction is the probability a unicast targets the
+	// Hotspot node instead of a uniformly random destination — the
+	// classic contended-memory-module pattern. Zero (the default)
+	// keeps the paper's uniform destinations and draws no extra
+	// random numbers, so existing seeds reproduce byte-identically.
+	HotspotFraction float64
+	// Hotspot is the hotspot destination node; only consulted when
+	// HotspotFraction is positive. A hotspot-bound message generated
+	// AT the hotspot falls back to a uniform destination.
+	Hotspot topology.NodeID
 	// Adaptive routes broadcast sends marked adaptive; nil means
 	// dimension-order.
 	Adaptive routing.Selector
@@ -131,6 +141,12 @@ func RunMixedWith(m *topology.Mesh, ncfg network.Config, cfg MixedConfig) (*Mixe
 	}
 	if cfg.BroadcastFraction > 0 && cfg.Algorithm == nil {
 		return nil, fmt.Errorf("traffic: broadcast fraction %v with no algorithm", cfg.BroadcastFraction)
+	}
+	if cfg.HotspotFraction < 0 || cfg.HotspotFraction > 1 {
+		return nil, fmt.Errorf("traffic: hotspot fraction %v outside [0,1]", cfg.HotspotFraction)
+	}
+	if cfg.HotspotFraction > 0 && (cfg.Hotspot < 0 || int(cfg.Hotspot) >= m.Nodes()) {
+		return nil, fmt.Errorf("traffic: hotspot node %d outside [0,%d)", cfg.Hotspot, m.Nodes())
 	}
 	if m.Nodes() < 2 {
 		return nil, fmt.Errorf("traffic: mixed workload needs at least two nodes")
@@ -244,9 +260,18 @@ func runMixedOn(s *sim.Simulator, net *network.Network, m *topology.Mesh, cfg Mi
 					return
 				}
 			} else {
-				dst := topology.NodeID(rng.Intn(n - 1))
-				if dst >= node {
-					dst++
+				dst := topology.NodeID(-1)
+				// The hotspot draw happens only under an active hotspot
+				// pattern, so uniform-pattern runs consume exactly the
+				// historical random stream.
+				if cfg.HotspotFraction > 0 && rng.Float64() < cfg.HotspotFraction && node != cfg.Hotspot {
+					dst = cfg.Hotspot
+				}
+				if dst < 0 {
+					dst = topology.NodeID(rng.Intn(n - 1))
+					if dst >= node {
+						dst++
+					}
 				}
 				t := &network.Transfer{
 					Source:    node,

@@ -325,6 +325,14 @@ func RunMixed(m *Mesh, cfg MixedConfig) (*MixedResult, error) {
 	return traffic.RunMixed(m, cfg)
 }
 
+// RunMixedWith is RunMixed with a caller-supplied network
+// configuration — the entry point when the workload needs a
+// non-default store, virtual-channel count, or timing constants
+// (cmd/meshsim's -store/-topo flags go through here).
+func RunMixedWith(m *Mesh, ncfg Config, cfg MixedConfig) (*MixedResult, error) {
+	return traffic.RunMixedWith(m, ncfg, cfg)
+}
+
 // Scenario API: one declarative spec, a registry of every experiment,
 // and one run loop. This is how new code runs studies; the per-figure
 // config types below are kept as deprecated wrappers.
