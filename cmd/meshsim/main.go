@@ -10,13 +10,19 @@
 //	meshsim -mesh 8x8x8 -topo torus -algo AB          # dateline VCs
 //	meshsim -mesh 64x64x32 -store lazy -algo RD       # paged state
 //	meshsim -mesh 8x8x8 -calendar heap -mode cv       # legacy kernel
+//	meshsim -mesh 16x16x8 -mode cv -shards 8          # parallel kernel
+//	meshsim -mesh 8x8x8 -mode cv -faults 8            # degraded study
 //
-// The -topo, -store and -calendar flags mirror cmd/sweep's: torus
-// topologies run with two dateline virtual channels per physical
-// channel, "lazy" pages network state in on first contention (with
-// implicit adjacency, so huge shapes need no up-front allocation),
-// and the calendar selects the kernel's event queue. Output is
-// byte-identical across stores and calendars at a fixed seed.
+// The -topo, -store, -calendar, -shards and -faults flags mirror
+// cmd/sweep's: torus topologies run with two dateline virtual
+// channels per physical channel, "lazy" pages network state in on
+// first contention (with implicit adjacency, so huge shapes need no
+// up-front allocation), the calendar selects the kernel's event
+// queue, -shards partitions the one simulation across that many
+// calendars of the conservative-parallel kernel, and -faults fails
+// that many random undirected links before traffic starts (cv mode,
+// reported as a coverage/drop study). Output is byte-identical across
+// stores, calendars and shard counts at a fixed seed.
 package main
 
 import (
@@ -46,6 +52,8 @@ func main() {
 		topoKind = flag.String("topo", "mesh", "topology: mesh or torus (torus runs two dateline VCs)")
 		storeN   = flag.String("store", "auto", "substrate memory model: auto, dense, or lazy")
 		calName  = flag.String("calendar", "ladder", "event calendar backing the kernel: ladder or heap")
+		shards   = flag.Int("shards", 0, "partition the simulation across this many shard calendars (0/1 = serial; output is byte-identical)")
+		faults   = flag.Int("faults", 0, "fail this many random undirected links before traffic starts (cv mode only)")
 	)
 	flag.Parse()
 
@@ -71,8 +79,12 @@ func main() {
 	cfg.Ts = *ts
 	cfg.Beta = *beta
 	cfg.Store = store
+	cfg.Shards = *shards
 	if m.Wrap() {
 		cfg.VCs = 2 // dateline pair: deadlock freedom on wraparound rings
+	}
+	if *faults > 0 && *mode != "cv" {
+		fatal(fmt.Errorf("-faults needs -mode cv (the degraded study), got %q", *mode))
 	}
 
 	switch *mode {
@@ -99,6 +111,31 @@ func main() {
 		fmt.Print(wormsim.FormatBreakdown(algo.Name(), wormsim.StepBreakdown(m, r)))
 
 	case "cv":
+		if *faults > 0 {
+			plan, err := wormsim.RandomLinkFaults(m, *seed, *faults, 0)
+			if err != nil {
+				fatal(err)
+			}
+			st, err := wormsim.DegradedStudy(m, algo, wormsim.DegradedConfig{
+				Net:          cfg,
+				Length:       *length,
+				Broadcasts:   *reps,
+				Interarrival: *gap,
+				Seed:         *seed,
+				Faults:       plan,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			cov := st.Coverage.Confidence95()
+			lat := st.Latency.Confidence95()
+			fmt.Printf("%s on %s: %d broadcasts, gap %g µs, L=%d flits, %d failed links\n",
+				algo.Name(), m.Name(), *reps, *gap, *length, *faults)
+			fmt.Printf("  coverage: %.4f ± %.4f (95%% CI)\n", cov.Mean, cov.HalfWide)
+			fmt.Printf("  latency:  %.3f ± %.3f µs (95%% CI, reached destinations)\n", lat.Mean, lat.HalfWide)
+			fmt.Printf("  dropped:  %d worms\n", st.Dropped)
+			return
+		}
 		st, err := wormsim.ContendedCVStudy(m, algo, wormsim.ContendedConfig{
 			Net:          cfg,
 			Length:       *length,

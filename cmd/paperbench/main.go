@@ -15,7 +15,15 @@
 // simulation kernel's calendar for everything the command runs. The
 // ladder queue is the default; the legacy binary heap is kept for
 // cross-checking and for measuring the ladder's speedup. Output is
-// byte-identical either way — only wall time changes.
+// byte-identical either way — only wall time changes. The -shards
+// knob likewise applies to everything the command runs: each
+// simulation is partitioned across that many shard calendars of the
+// conservative-parallel kernel, with byte-identical output at any
+// count — `paperbench -shards 8` must diff empty against a serial
+// run.
+//
+// The -cpuprofile and -memprofile flags write standard pprof
+// profiles of the whole run, exactly as `go test` would.
 //
 // Benchmark flags (the perf-trajectory workflow; see EXPERIMENTS.md):
 //
@@ -35,6 +43,15 @@
 //	                   -benchphase dense or lazy so one artifact
 //	                   carries both substrate memory models and a
 //	                   bytes/op reduction summary
+//	-benchshards K     measure the workload on the conservative-
+//	                   parallel kernel with K shard calendars,
+//	                   recorded as the "shards" phase; paired with the
+//	                   artifact's serial phase ("ladder" for
+//	                   saturation, "lazy" for scale) the summary
+//	                   reports the per-algorithm events/sec speedup.
+//	                   Phases record the GOMAXPROCS they were measured
+//	                   under — shard speedup needs as many cores as
+//	                   shards
 //	-benchguard FILE   offline regression gate: compare FILE's best
 //	                   phase against -benchbaseline's and fail if any
 //	                   algorithm lost events/sec or gained allocs/op
@@ -50,6 +67,15 @@
 //	paperbench -benchjson BENCH_pr4.json -benchphase heap   -calendar heap
 //	paperbench -benchjson BENCH_pr4.json -benchphase ladder -calendar ladder
 //	paperbench -benchguard BENCH_pr4.json -benchbaseline BENCH_pr2.json
+//
+// BENCH_pr9.json extends it with the parallel kernel: a fresh serial
+// "ladder" phase plus the "shards" phase of the same workload, so
+// the summary carries the shard speedup and the guard pins the
+// serial path against BENCH_pr5:
+//
+//	paperbench -benchjson BENCH_pr9.json -benchphase ladder
+//	paperbench -benchjson BENCH_pr9.json -benchphase shards -benchshards 8
+//	paperbench -benchguard BENCH_pr9.json -benchbaseline BENCH_pr5.json
 //
 // Replications run in parallel on -procs workers (default: all
 // cores). Output is bit-identical for any -procs value and a fixed
@@ -71,6 +97,7 @@ import (
 
 	"repro"
 	"repro/internal/export"
+	"repro/internal/prof"
 	"repro/internal/scenario"
 )
 
@@ -85,6 +112,9 @@ func main() {
 		procs    = flag.Int("procs", 0, "max parallel replications (0 = all cores); output is identical for any value")
 		repsF    = flag.Int("reps", 0, "override replication count for the replicated figures (0 = default)")
 		progress = flag.Bool("progress", true, "report live progress on stderr")
+		shards   = flag.Int("shards", 0, "partition each simulation across this many shard calendars of the conservative-parallel kernel (0/1 = serial; output is byte-identical)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 
 		calName = flag.String("calendar", "ladder", "event calendar backing the simulation kernel: ladder or heap (byte-identical output, different speed)")
 
@@ -97,8 +127,16 @@ func main() {
 		benchBaseline = flag.String("benchbaseline", "", "baseline bench artifact for -benchguard")
 		benchTol      = flag.Float64("benchtol", 0.05, "relative tolerance for -benchguard (0.05 = 5%)")
 		benchGdMode   = flag.String("benchguardmode", "full", "what -benchguard enforces: full (events/sec floor + allocs/op ceiling) or alloc (allocs/op + bytes/op ceilings — machine-independent, for guarding fresh measurements against committed artifacts)")
+		benchShards   = flag.Int("benchshards", 0, "measure the -benchjson workload on the conservative-parallel kernel with this many shards, recorded as the \"shards\" phase (0 = serial)")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	cal, err := wormsim.ParseCalendar(*calName)
 	if err != nil {
@@ -115,7 +153,7 @@ func main() {
 		return
 	}
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, *benchPhase, *benchTime, *benchTopo, *benchWork); err != nil {
+		if err := runBenchJSON(*benchJSON, *benchPhase, *benchTime, *benchTopo, *benchWork, *benchShards); err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			os.Exit(1)
 		}
@@ -201,6 +239,7 @@ func main() {
 		opts := append([]scenario.Option{
 			scenario.WithSeed(*seed),
 			scenario.WithProcs(*procs),
+			scenario.WithShards(*shards),
 			scenario.WithProgress(reporter(label)),
 		}, extra...)
 		spec, err := scenario.Build(name, opts...)

@@ -24,6 +24,19 @@
 // byte-identical either way — the knob exists for cross-checking and
 // for measuring kernel speed, see cmd/paperbench's bench flags.
 //
+// The -shards flag partitions EACH simulation across that many shard
+// calendars of the conservative-parallel kernel — parallelism inside
+// one simulation, on top of the across-simulation parallelism -procs
+// controls. Output is byte-identical at every shard count; the
+// worker pool automatically narrows so shards × workers stays at one
+// thread per core.
+//
+// The -cpuprofile and -memprofile flags write standard pprof
+// profiles of the whole run, exactly as `go test` would:
+//
+//	sweep -what fig2 -shards 8 -cpuprofile cpu.out
+//	go tool pprof -top cpu.out
+//
 // The scenario names come from the process-wide registry
 // (internal/scenario); registering a new scenario makes it runnable
 // here with no changes to this command.
@@ -46,6 +59,7 @@ import (
 
 	"repro"
 	"repro/internal/export"
+	"repro/internal/prof"
 	"repro/internal/scenario"
 )
 
@@ -60,8 +74,17 @@ func main() {
 		faults   = flag.Int("faults", 0, "fail this many random undirected links in every cell of a contended scenario (0 = scenario default)")
 		store    = flag.String("store", "", "substrate memory model: auto, dense, or lazy (empty = scenario default)")
 		calName  = flag.String("calendar", "ladder", "event calendar backing the simulation kernel: ladder or heap (byte-identical output, different speed)")
+		shards   = flag.Int("shards", 0, "partition each simulation across this many shard calendars of the conservative-parallel kernel (0/1 = serial; output is byte-identical)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	cal, err := wormsim.ParseCalendar(*calName)
 	if err != nil {
@@ -83,6 +106,7 @@ func main() {
 		scenario.WithProcs(*procs),
 		scenario.WithFaults(*faults),
 		scenario.WithStore(*store),
+		scenario.WithShards(*shards),
 	}
 	if *meshSpec != "" {
 		dims, err := parseDims(*meshSpec)

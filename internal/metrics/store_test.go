@@ -120,6 +120,11 @@ func TestStoreDifferentialDegraded(t *testing.T) {
 		md, ml := storePair(dims, torus)
 		algo := diffAlgo(algoIdx, len(dims))
 		k := 1 + int(seed%3)
+		// A 1-dim extent-3 mesh has only 2 links; clamp so the random
+		// budget never exceeds what the shape can supply.
+		if avail := len(fault.Links(md)); k > avail {
+			k = avail
+		}
 		planD, err := fault.RandomLinks(md, seed, k, 0)
 		if err != nil {
 			t.Errorf("dims %v torus %v: %v", dims, torus, err)

@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 
+	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
@@ -57,6 +58,14 @@ func (n *Network) ensureHealth() *healthState {
 			linkDown: make([]bool, n.topo.ChannelSlots()),
 			nodeDown: make([]bool, n.topo.Nodes()),
 		}
+		// A degraded network loses its lookahead: a dropped worm
+		// releases its whole held chain instantly across shards, and
+		// kicks/revivals re-route worms synchronously. The sharded
+		// kernel falls back to coordinator-only execution for the rest
+		// of the run (identical output, no parallel segments). Faults
+		// are always injected from serial-class events, so this fires
+		// on the coordinator between segments.
+		n.sim.Degrade()
 	}
 	return n.health
 }
@@ -171,7 +180,7 @@ func (n *Network) kickWaiters(ch topology.ChannelID) {
 				panic("network: queued worm not waiting on this channel")
 			}
 			w.waiting = topology.InvalidChannel
-			n.advance(w)
+			n.advance(n.sim.Env(), w)
 		}
 	}
 }
@@ -179,21 +188,21 @@ func (n *Network) kickWaiters(ch topology.ChannelID) {
 // parkOrDrop handles a worm with no live admissible next hop: park it
 // for DeadWait µs awaiting a recovery, or drop it immediately when no
 // grace is configured.
-func (n *Network) parkOrDrop(w *worm) {
+func (n *Network) parkOrDrop(env *sim.Env, w *worm) {
 	if n.deadWait > 0 {
 		tk := &parkToken{w: w}
 		w.parkToken = tk
 		n.parked = append(n.parked, w)
-		n.sim.AfterCall(n.deadWait, parkTimeoutEvent, tk)
+		env.AfterCall(n.deadWait, parkTimeoutEvent, tk)
 		return
 	}
-	n.dropWorm(w)
+	n.dropWorm(env, w)
 }
 
 // parkTimeoutEvent fires DeadWait after a worm parked. The token
 // check makes stale records harmless: a revived (or long recycled)
 // worm no longer carries this token.
-func parkTimeoutEvent(arg any) {
+func parkTimeoutEvent(env *sim.Env, arg any) {
 	tk := arg.(*parkToken)
 	w := tk.w
 	if w.parkToken != tk {
@@ -202,7 +211,7 @@ func parkTimeoutEvent(arg any) {
 	w.parkToken = nil
 	n := w.net
 	n.unpark(w)
-	n.dropWorm(w)
+	n.dropWorm(env, w)
 }
 
 // unpark removes w from the parked list, preserving order.
@@ -227,7 +236,7 @@ func (n *Network) reviveParked() {
 	n.parked = nil
 	for _, w := range ws {
 		w.parkToken = nil
-		n.advance(w)
+		n.advance(n.sim.Env(), w)
 	}
 }
 
@@ -236,7 +245,7 @@ func (n *Network) reviveParked() {
 // counted, the Transfer's OnPath/OnDrop hooks fire, and the worm
 // returns to the pool. No delivery ever fires for a dropped worm —
 // its body never drained past any waypoint.
-func (n *Network) dropWorm(w *worm) {
+func (n *Network) dropWorm(env *sim.Env, w *worm) {
 	if w.waiting != topology.InvalidChannel {
 		panic("network: dropping a queued worm")
 	}
@@ -245,18 +254,18 @@ func (n *Network) dropWorm(w *worm) {
 	}
 	n.activeRemove(w)
 	n.dropped++
-	n.releasePort(w.t.Source)
+	n.releasePort(env, w.t.Source)
 	// w.chans survives intact through the releases (release indexes the
 	// network's channel table, not the worm), so the path-order walk is
 	// safe; putWorm truncates it afterwards.
 	for _, lane := range w.chans {
-		n.release(lane)
+		n.release(env, lane)
 	}
 	if w.t.OnPath != nil {
 		w.t.OnPath(w.path, false)
 	}
 	if w.t.OnDrop != nil {
-		w.t.OnDrop(n.sim.Now())
+		w.t.OnDrop(env.Now())
 	}
 	n.putWorm(w)
 }

@@ -124,7 +124,7 @@ func TestWormPoolRecyclesCleanly(t *testing.T) {
 	if len(w.path) != 0 || len(w.chans) != 0 || len(w.grants) != 0 || len(w.deliver) != 0 {
 		t.Error("recycled worm retains per-hop state")
 	}
-	if w.relCur != 0 || w.delCur != 0 {
+	if len(w.relRecs) != 0 || w.delCur != 0 {
 		t.Error("recycled worm retains drain cursors")
 	}
 	if cap(w.path) == 0 || cap(w.chans) == 0 {

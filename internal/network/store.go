@@ -1,6 +1,8 @@
 package network
 
 import (
+	"sync/atomic"
+
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -90,27 +92,43 @@ type portPage struct {
 // lazyStore is the paged store: page pointer tables sized at New
 // (8 bytes per 512 lanes/nodes), pages allocated on first write
 // intent.
+//
+// Lane pages install via compare-and-swap: on a sharded network two
+// workers may first-touch lanes of the same page concurrently (a page
+// spans several nodes and can straddle a shard boundary). The lanes
+// themselves are disjoint per shard — only the page pointer and the
+// live-page counter are shared, and losing the CAS just means using
+// the winner's page. Port pages stay plain pointers: injection-port
+// events are serial-class and only ever run on the coordinator.
 type lazyStore struct {
-	lanePages []*lanePage
+	lanePages []atomic.Pointer[lanePage]
 	portPages []*portPage
 	// livePages counts allocated pages of both kinds; the scale tests
 	// assert it stays far below the table lengths under light load.
-	livePages int
+	// The count is deterministic even under sharding: the set of
+	// touched pages is a function of the simulation, and CAS losers do
+	// not count.
+	livePages atomic.Int64
 }
 
 func newLazyStore(lanes, nodes int) *lazyStore {
 	return &lazyStore{
-		lanePages: make([]*lanePage, (lanes+pageMask)>>pageBits),
+		lanePages: make([]atomic.Pointer[lanePage], (lanes+pageMask)>>pageBits),
 		portPages: make([]*portPage, (nodes+pageMask)>>pageBits),
 	}
 }
 
 func (s *lazyStore) lanePageFor(lane int) *lanePage {
-	p := s.lanePages[lane>>pageBits]
+	slot := &s.lanePages[lane>>pageBits]
+	p := slot.Load()
 	if p == nil {
-		p = &lanePage{}
-		s.lanePages[lane>>pageBits] = p
-		s.livePages++
+		fresh := &lanePage{}
+		if slot.CompareAndSwap(nil, fresh) {
+			s.livePages.Add(1)
+			p = fresh
+		} else {
+			p = slot.Load()
+		}
 	}
 	return p
 }
@@ -127,7 +145,7 @@ func (n *Network) port(node topology.NodeID) *portState {
 	if p == nil {
 		p = &portPage{}
 		s.portPages[int(node)>>pageBits] = p
-		s.livePages++
+		s.livePages.Add(1)
 	}
 	return &p.ports[int(node)&pageMask]
 }
@@ -149,7 +167,7 @@ func (n *Network) laneFree(lane topology.ChannelID) bool {
 	if n.lazy == nil {
 		return n.channels[lane].holder == nil
 	}
-	p := n.lazy.lanePages[int(lane)>>pageBits]
+	p := n.lazy.lanePages[int(lane)>>pageBits].Load()
 	return p == nil || p.ch[int(lane)&pageMask].holder == nil
 }
 
@@ -160,7 +178,7 @@ func (n *Network) laneIfTouched(lane topology.ChannelID) *channelState {
 	if n.lazy == nil {
 		return &n.channels[lane]
 	}
-	p := n.lazy.lanePages[int(lane)>>pageBits]
+	p := n.lazy.lanePages[int(lane)>>pageBits].Load()
 	if p == nil {
 		return nil
 	}
@@ -173,5 +191,5 @@ func (n *Network) LazyStore() (lazy bool, livePages int) {
 	if n.lazy == nil {
 		return false, 0
 	}
-	return true, n.lazy.livePages
+	return true, int(n.lazy.livePages.Load())
 }

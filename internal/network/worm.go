@@ -27,7 +27,8 @@ type worm struct {
 	grants  []sim.Time           // grant time per hop (channel i = path[i]->path[i+1])
 	chans   []topology.ChannelID // acquired channel LANES in order (channel·vcs + vc)
 	deliver []int                // hop index (1-based node position) per waypoint
-	relCur  int                  // next entry of chans to release (drain events)
+	relCur  int                  // next entry of chans to release (serial drain events)
+	relRecs []laneRel            // sharded drain-event records, one per acquired lane
 	delCur  int                  // next entry of deliver to fire (delivery events)
 	waiting topology.ChannelID   // channel lane whose queue the worm sits in, or -1
 	started sim.Time             // injection request time
@@ -90,6 +91,7 @@ func (n *Network) putWorm(w *worm) {
 	w.grants = w.grants[:0]
 	w.chans = w.chans[:0]
 	w.deliver = w.deliver[:0]
+	w.relRecs = w.relRecs[:0]
 	w.relCur, w.delCur = 0, 0
 	w.waiting = topology.InvalidChannel
 	w.started, w.portAt = 0, 0
@@ -101,41 +103,65 @@ func (n *Network) putWorm(w *worm) {
 
 // Prebuilt event bodies: the network schedules (func, worm) records,
 // never closures, so the per-hop scheduling path does not allocate.
-func requestPortEvent(arg any) { w := arg.(*worm); w.net.requestPort(w) }
-func advanceEvent(arg any)     { w := arg.(*worm); w.net.advance(w) }
+func requestPortEvent(env *sim.Env, arg any) { w := arg.(*worm); w.net.requestPort(env, w) }
+func advanceEvent(env *sim.Env, arg any)     { w := arg.(*worm); w.net.advance(env, w) }
 
-// releaseNextEvent frees the worm's next acquired channel in pipeline
-// order. complete schedules these at nondecreasing times in channel
-// order, so the cursor always names the channel this record meant.
-func releaseNextEvent(arg any) {
+// laneRel is the sharded drain-event record for one acquired lane.
+// The record names its lane explicitly (not a shared cursor): on a
+// sharded network one worm's releases land on different shards and
+// may execute concurrently within a segment, so they cannot share
+// mutable per-worm state. Records live in the worm's pooled relRecs
+// slice, so scheduling them stays allocation-free after pool warm-up
+// — and a serial network never builds them at all (see complete), so
+// its worms stay exactly as small as before the parallel kernel.
+type laneRel struct {
+	w    *worm
+	lane topology.ChannelID
+}
+
+// releaseLaneEvent frees one of the worm's acquired channels as its
+// tail passes.
+func releaseLaneEvent(env *sim.Env, arg any) {
+	r := arg.(*laneRel)
+	r.w.net.release(env, r.lane)
+}
+
+// releaseNextEvent is the serial twin of releaseLaneEvent: it frees
+// the worm's next acquired channel in pipeline order. complete
+// schedules these at nondecreasing times in channel order on one
+// calendar, so the cursor always names the channel this record meant.
+func releaseNextEvent(env *sim.Env, arg any) {
 	w := arg.(*worm)
 	i := w.relCur
 	w.relCur++
-	w.net.release(w.chans[i])
+	w.net.release(env, w.chans[i])
 }
 
 // deliverNextEvent fires the worm's next waypoint delivery; the event
 // fires at the scheduled (clamped) arrival time, so Now() is the
-// delivery timestamp.
-func deliverNextEvent(arg any) {
+// delivery timestamp. Serial-class (coordinator-only), so the cursor
+// needs no guard.
+func deliverNextEvent(env *sim.Env, arg any) {
 	w := arg.(*worm)
 	i := w.delCur
 	w.delCur++
-	w.t.OnDeliver(w.t.Waypoints[i], w.net.sim.Now())
+	w.t.OnDeliver(w.t.Waypoints[i], env.Now())
 }
 
-func releasePortEvent(arg any) { w := arg.(*worm); w.net.releasePort(w.t.Source) }
+func releasePortEvent(env *sim.Env, arg any) { w := arg.(*worm); w.net.releasePort(env, w.t.Source) }
 
 // finishWorm retires the worm when its tail fully drains. It fires at
 // tdone with the largest sequence number of the worm's records, so
-// recycling here cannot race an unfired release/delivery.
-func finishWorm(arg any) {
+// recycling here cannot race an unfired release/delivery; it is
+// serial-class, and every release below its key has executed by the
+// time the coordinator reaches it.
+func finishWorm(env *sim.Env, arg any) {
 	w := arg.(*worm)
 	n := w.net
 	n.activeRemove(w)
 	n.finished++
 	if w.t.OnDone != nil {
-		w.t.OnDone(n.sim.Now())
+		w.t.OnDone(env.Now())
 	}
 	if w.t.OnPath != nil {
 		w.t.OnPath(w.path, true)
@@ -194,30 +220,32 @@ func (n *Network) MustSend(start sim.Time, t *Transfer) {
 }
 
 // requestPort claims an injection port at the worm's source or queues
-// for one.
-func (n *Network) requestPort(w *worm) {
+// for one. Serial-class: port state is coordinator-owned.
+func (n *Network) requestPort(env *sim.Env, w *worm) {
 	p := n.port(w.t.Source)
 	if p.inUse < n.nports {
 		p.inUse++
-		n.grantPort(w)
+		n.grantPort(env, w)
 		return
 	}
 	p.queue.Push(w)
 }
 
 // grantPort starts the startup latency; afterwards the header begins
-// to walk.
-func (n *Network) grantPort(w *worm) {
-	w.portAt = n.sim.Now()
-	n.sim.AfterCall(n.cfg.Ts, advanceEvent, w)
+// to walk. The first advance can never complete the worm (a transfer
+// may not start at its own first waypoint), so it is shard-class on
+// the source's owner.
+func (n *Network) grantPort(env *sim.Env, w *worm) {
+	w.portAt = env.Now()
+	env.AfterCallShard(n.cfg.Ts, advanceEvent, w, n.ownerOf(w.t.Source))
 }
 
 // releasePort returns the source's injection port and admits the next
-// queued worm, if any.
-func (n *Network) releasePort(node topology.NodeID) {
+// queued worm, if any. Serial-class.
+func (n *Network) releasePort(env *sim.Env, node topology.NodeID) {
 	p := n.port(node)
 	if p.queue.Len() > 0 {
-		n.grantPort(p.queue.Pop())
+		n.grantPort(env, p.queue.Pop())
 		return
 	}
 	p.inUse--
@@ -236,32 +264,36 @@ func (w *worm) selector() routing.Selector {
 
 // advance moves the worm's header one hop, or completes the worm when
 // the final waypoint is reached. Called at the moment the header sits
-// at w.cur ready to move.
-func (n *Network) advance(w *worm) {
+// at w.cur ready to move. Shard-class on w.cur's owner: everything it
+// touches — the candidate lanes out of w.cur, their wait queues, the
+// worm's own record — belongs to that shard, except completion, which
+// acquire routes to the coordinator (see the completing test there).
+func (n *Network) advance(env *sim.Env, w *worm) {
 	// Record any waypoint hit at the current node.
 	for w.wpIdx < len(w.t.Waypoints) && w.cur == w.t.Waypoints[w.wpIdx] {
 		w.deliver = append(w.deliver, len(w.chans))
 		w.wpIdx++
 	}
 	if w.wpIdx == len(w.t.Waypoints) {
-		n.complete(w)
+		n.complete(env, w)
 		return
 	}
 	dst := w.t.Waypoints[w.wpIdx]
 	h := n.health
 	if h != nil && h.nodeDown[w.cur] {
 		// The header sits at a node that failed under it: fail-stop.
-		n.parkOrDrop(w)
+		n.parkOrDrop(env, w)
 		return
 	}
 	// Route through the allocation-free append path when the selector
-	// offers it, reusing the network's scratch buffer; foreign
+	// offers it, reusing the context's scratch buffer; foreign
 	// selectors fall back to the slice-returning form.
 	sel := w.selector()
 	var cands []topology.NodeID
 	if ap, ok := sel.(routing.HopAppender); ok {
-		n.candScratch = ap.AppendNextHops(n.candScratch[:0], w.cur, dst)
-		cands = n.candScratch
+		buf := n.scratch(env)
+		*buf = ap.AppendNextHops((*buf)[:0], w.cur, dst)
+		cands = *buf
 	} else {
 		cands = sel.NextHops(w.cur, dst)
 	}
@@ -306,7 +338,7 @@ func (n *Network) advance(w *worm) {
 		if firstLive < 0 {
 			// Every admissible hop is dead: the worm cannot make
 			// progress on the degraded network.
-			n.parkOrDrop(w)
+			n.parkOrDrop(env, w)
 			return
 		}
 		// All live candidates busy: wait FIFO on the most preferred
@@ -319,7 +351,7 @@ func (n *Network) advance(w *worm) {
 		n.lane(lane).queue.Push(w)
 		return
 	}
-	n.acquire(w, pick, pickLane)
+	n.acquire(env, w, pick, pickLane)
 }
 
 // laneRange returns the half-open lane range [lo, hi) within one
@@ -343,8 +375,10 @@ func (n *Network) laneRange(w *worm, next, dst topology.NodeID) (int, int) {
 }
 
 // acquire grants channel ch to w and schedules the header's arrival at
-// the next node.
-func (n *Network) acquire(w *worm, next topology.NodeID, ch topology.ChannelID) {
+// the next node, one hop delay out — the event that carries the worm
+// across a shard boundary, and the reason the hop delay is a hard
+// lookahead bound.
+func (n *Network) acquire(env *sim.Env, w *worm, next topology.NodeID, ch topology.ChannelID) {
 	st := n.lane(ch)
 	if st.holder != nil {
 		panic("network: acquiring a held channel")
@@ -357,23 +391,40 @@ func (n *Network) acquire(w *worm, next topology.NodeID, ch topology.ChannelID) 
 		}
 	}
 	st.holder = w
-	n.noteAcquire(ch)
+	now := env.Now()
+	n.noteAcquire(ch, now)
 	w.waiting = topology.InvalidChannel
-	w.grants = append(w.grants, n.sim.Now())
+	w.grants = append(w.grants, now)
 	w.chans = append(w.chans, ch)
 	w.path = append(w.path, next)
 	w.cur = next
-	n.sim.AfterCall(n.hop, advanceEvent, w)
+	// Shard classification of the arrival. An arrival at the final
+	// waypoint completes the worm, and complete schedules deliveries,
+	// port release and retirement — callbacks that feed back into the
+	// workload, and zero-lookahead records that may land on other
+	// shards. Those must run at their exact serial position, so a
+	// completing arrival is serial-class: the coordinator executes it
+	// in global order. The test is exact because consecutive waypoints
+	// are distinct (Send validates), so a non-final or non-waypoint
+	// arrival can never reach complete.
+	sh := int32(-1)
+	if n.part != nil && !(w.wpIdx == len(w.t.Waypoints)-1 && next == w.t.Waypoints[w.wpIdx]) {
+		sh = int32(n.part.Owner(next))
+	}
+	env.AfterCallShard(n.hop, advanceEvent, w, sh)
 }
 
 // release frees channel ch and grants it to the head of its queue.
-func (n *Network) release(ch topology.ChannelID) {
+// Shard-class on the lane's owner: its waiters are worms whose header
+// sits at the lane's source node, so admitting them stays inside the
+// shard.
+func (n *Network) release(env *sim.Env, ch topology.ChannelID) {
 	st := n.lane(ch)
 	if st.holder == nil {
 		panic("network: releasing a free channel")
 	}
 	st.holder = nil
-	n.noteRelease(ch)
+	n.noteRelease(ch, env.Now())
 	// Keep admitting waiters until one takes the channel or the queue
 	// empties: an adaptive worm at the head may grab a different free
 	// channel when re-routed, and the waiters behind it must not be
@@ -384,15 +435,25 @@ func (n *Network) release(ch topology.ChannelID) {
 			panic("network: queued worm not waiting on this channel")
 		}
 		next.waiting = topology.InvalidChannel
-		n.advance(next)
+		n.advance(env, next)
 	}
 }
 
 // complete fires when the header has arrived at the final waypoint.
 // The body drains at Beta per flit; channel i releases and waypoint
 // deliveries fire in pipeline order behind the tail.
-func (n *Network) complete(w *worm) {
-	now := n.sim.Now()
+//
+// complete always executes on the coordinator: its releases clamp to
+// "now" when the path is longer than the body (zero lookahead, any
+// shard), and its delivery/retirement callbacks feed the workload's
+// injection loop, so all of its records need exact global sequence
+// numbers. acquire guarantees this by classifying completing arrivals
+// serial-class; the panic pins that invariant.
+func (n *Network) complete(env *sim.Env, w *worm) {
+	if !env.Coordinator() {
+		panic("network: complete on a shard worker")
+	}
+	now := env.Now()
 	beta := n.beta
 	drain := float64(w.t.Length) * beta
 	tdone := now + drain
@@ -402,14 +463,33 @@ func (n *Network) complete(w *worm) {
 	// channel is granted the body streams freely, one flit per Beta
 	// per channel, and nothing drained earlier because wormhole
 	// back-pressure held all flits in place while the header stalled.
-	// Times are nondecreasing in i, so the cursor-driven records fire
-	// against chans in order.
-	for i := range w.chans {
-		at := tdone - float64(hops-1-i)*beta
-		if at < now {
-			at = now
+	// Times are nondecreasing in i, matching acquisition order. On a
+	// serial network the cursor-driven records fire against chans in
+	// order and cost nothing; only a sharded network builds explicit
+	// per-lane records, because the releases fan out to per-shard
+	// calendars where a shared cursor would race. Build every record
+	// before scheduling any: append may regrow the slice, and the
+	// calendar must hold pointers into the final array.
+	if n.part == nil {
+		for i := range w.chans {
+			at := tdone - float64(hops-1-i)*beta
+			if at < now {
+				at = now
+			}
+			env.AtCall(at, releaseNextEvent, w)
 		}
-		n.sim.AtCall(at, releaseNextEvent, w)
+	} else {
+		w.relRecs = w.relRecs[:0]
+		for _, lane := range w.chans {
+			w.relRecs = append(w.relRecs, laneRel{w: w, lane: lane})
+		}
+		for i := range w.relRecs {
+			at := tdone - float64(hops-1-i)*beta
+			if at < now {
+				at = now
+			}
+			env.AtCallShard(at, releaseLaneEvent, &w.relRecs[i], n.laneOwner(w.relRecs[i].lane))
+		}
 	}
 
 	// A waypoint reached after hop h receives its tail when channel
@@ -420,7 +500,7 @@ func (n *Network) complete(w *worm) {
 			if at < now {
 				at = now
 			}
-			n.sim.AtCall(at, deliverNextEvent, w)
+			env.AtCall(at, deliverNextEvent, w)
 		}
 	}
 
@@ -429,7 +509,7 @@ func (n *Network) complete(w *worm) {
 	if portFree < now {
 		portFree = now
 	}
-	n.sim.AtCall(portFree, releasePortEvent, w)
+	env.AtCall(portFree, releasePortEvent, w)
 
-	n.sim.AtCall(tdone, finishWorm, w)
+	env.AtCall(tdone, finishWorm, w)
 }

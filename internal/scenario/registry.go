@@ -347,6 +347,24 @@ func init() {
 		},
 	})
 	Register(Definition{
+		Name:    "fig4-transpose",
+		Summary: "NEW: Fig. 4's mixed workload with matrix-transpose unicast destinations",
+		New: func() Spec {
+			return Spec{
+				Name: "fig4-transpose", ID: "Fig.4-transpose",
+				Workload: Mixed, Axis: AxisLoad,
+				// A palindromic 16×8×16 shape: every unicast crosses to
+				// its coordinate reversal, so the background is a fixed
+				// permutation with long deterministic paths instead of
+				// the uniform cloud — adversarial for dimension-order
+				// routing, which funnels the whole permutation through a
+				// predictable set of turning channels.
+				Dims:    []int{16, 8, 16},
+				Pattern: PatternTranspose,
+			}
+		},
+	})
+	Register(Definition{
 		Name:    "saturation",
 		Summary: "NEW: mean broadcast latency vs injection gap on 8×8×8 (the perf benchmark's workload as a sweep)",
 		New: func() Spec {

@@ -112,6 +112,13 @@ const (
 	// node — the topology's center, node Nodes()/2 — and the rest
 	// uniformly. The classic contended-memory-module pattern.
 	PatternHotspot = "hotspot"
+	// PatternTranspose sends every unicast to the source's coordinate
+	// reversal — the matrix-transpose permutation; needs a
+	// palindromic shape (see internal/traffic).
+	PatternTranspose = "transpose"
+	// PatternBitReversal sends node i's unicasts to the node indexed
+	// by i's bit reversal — the FFT permutation.
+	PatternBitReversal = "bit-reversal"
 )
 
 // Spec is the declarative description of one experiment scenario.
@@ -220,6 +227,15 @@ type Spec struct {
 	// 10× the measured window, 3× on meshes above 1024 nodes).
 	MaxInjected int
 
+	// Shards partitions EACH simulation across this many shard
+	// calendars of the conservative-parallel kernel (internal/sim).
+	// 0 or 1 is the serial kernel. Like Procs, Shards is an
+	// orchestration knob: output is bit-identical at every shard
+	// count (the kernel's core guarantee), so it is excluded from the
+	// canonical cache key. Shards multiply threads per simulation, so
+	// the run loop divides the default worker-pool width by Shards to
+	// keep total thread count at one per core.
+	Shards int
 	// Reps is the replication count: replications per point
 	// (uncontended), measured broadcasts per study (contended).
 	// Default 40; the ablations register 10.
@@ -392,8 +408,16 @@ func (s *Spec) validate() error {
 		if s.HotspotFraction < 0 || s.HotspotFraction > 1 {
 			return fmt.Errorf("scenario %s: hotspot fraction %g outside [0,1]", s.Name, s.HotspotFraction)
 		}
+	case PatternTranspose, PatternBitReversal:
+		if s.Workload != Mixed {
+			return fmt.Errorf("scenario %s: pattern %q needs the mixed workload", s.Name, s.Pattern)
+		}
+		if s.HotspotFraction != 0 {
+			return fmt.Errorf("scenario %s: pattern %q cannot combine with a hotspot fraction", s.Name, s.Pattern)
+		}
 	default:
-		return fmt.Errorf("scenario %s: unknown pattern %q (want %s or %s)", s.Name, s.Pattern, PatternUniform, PatternHotspot)
+		return fmt.Errorf("scenario %s: unknown pattern %q (want %s, %s, %s or %s)",
+			s.Name, s.Pattern, PatternUniform, PatternHotspot, PatternTranspose, PatternBitReversal)
 	}
 	if s.Axis == AxisSize {
 		if len(s.Sizes) == 0 {
@@ -499,6 +523,9 @@ func (s *Spec) validate() error {
 	}
 	if s.Reps <= 0 {
 		return fmt.Errorf("scenario %s: non-positive replication count %d", s.Name, s.Reps)
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("scenario %s: negative shard count %d", s.Name, s.Shards)
 	}
 	switch s.Artifact {
 	case ArtifactFigure:
@@ -632,9 +659,13 @@ func (s *Spec) headings(m *topology.Mesh) (title, xlabel, ylabel string) {
 	case Mixed:
 		dTitle = fmt.Sprintf("Mean latency vs traffic load on %s (L=%d flits, %g%% unicast / %g%% broadcast)",
 			name, s.Length, 100*(1-s.BroadcastFraction), 100*s.BroadcastFraction)
-		if s.Pattern == PatternHotspot {
+		switch s.Pattern {
+		case PatternHotspot:
 			dTitle = fmt.Sprintf("Mean latency vs traffic load on %s (L=%d flits, %g%% unicast / %g%% broadcast, %g%% hotspot)",
 				name, s.Length, 100*(1-s.BroadcastFraction), 100*s.BroadcastFraction, 100*s.HotspotFraction)
+		case PatternTranspose, PatternBitReversal:
+			dTitle = fmt.Sprintf("Mean latency vs traffic load on %s (L=%d flits, %g%% unicast / %g%% broadcast, %s unicast)",
+				name, s.Length, 100*(1-s.BroadcastFraction), 100*s.BroadcastFraction, s.Pattern)
 		}
 		dX = "load (msg/ms)"
 		dY = "latency (µs)"

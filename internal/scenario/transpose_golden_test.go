@@ -1,0 +1,83 @@
+package scenario_test
+
+// Transpose-pattern golden. Pins the OUTPUT OF the deterministic-
+// permutation traffic patterns at their introduction, rendered at
+// three worker counts so determinism and results are pinned together.
+// Regenerate only for an intentional behaviour change:
+//
+//	UPDATE_TRANSPOSE_GOLDENS=1 go test ./internal/scenario -run TransposeGolden
+//
+// The uniform pattern's own fixtures (fig3/fig4) prove the gating: a
+// pattern that is not active draws no extra random numbers, so every
+// pre-existing mixed golden stays byte-identical.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/export"
+	"repro/internal/scenario"
+)
+
+// transposeGoldenCases shrink fig4-transpose to a palindromic 6×8×6
+// and fig4's golden load points and batch windows.
+func transposeGoldenCases() map[string][]scenario.Option {
+	return map[string][]scenario.Option{
+		"fig4-transpose": {
+			scenario.WithMesh(6, 8, 6),
+			scenario.WithLoads(0.005, 0.02),
+			scenario.WithBatches(4, 20, 1),
+			scenario.WithSeed(2005),
+		},
+	}
+}
+
+func TestTransposeGoldens(t *testing.T) {
+	update := os.Getenv("UPDATE_TRANSPOSE_GOLDENS") != ""
+	for name, opts := range transposeGoldenCases() {
+		for _, procs := range []int{1, 4, 0} {
+			res := runScenario(t, name, append(opts, scenario.WithProcs(procs))...)
+			var csv bytes.Buffer
+			if err := export.NewCSVSink(&csv).Emit(res); err != nil {
+				t.Fatal(err)
+			}
+			if update && procs == 1 {
+				if err := os.WriteFile(filepath.Join("testdata", name+".txt"),
+					[]byte(res.Figure.Format()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join("testdata", name+".csv"),
+					csv.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got, want := res.Figure.Format(), golden(t, name+".txt"); got != want {
+				t.Errorf("%s at procs=%d: text differs from golden\n--- want ---\n%s\n--- got ---\n%s",
+					name, procs, want, got)
+			}
+			if got, want := csv.String(), golden(t, name+".csv"); got != want {
+				t.Errorf("%s at procs=%d: CSV differs from golden", name, procs)
+			}
+		}
+	}
+}
+
+// TestTransposeDiffersFromUniform guards the fixture against the
+// silent failure mode of the pattern being a no-op: at the same seed
+// and shape, the transpose background must move the latency numbers.
+func TestTransposeDiffersFromUniform(t *testing.T) {
+	opts := []scenario.Option{
+		scenario.WithMesh(6, 8, 6),
+		scenario.WithLoads(0.02),
+		scenario.WithBatches(4, 20, 1),
+		scenario.WithSeed(2005),
+		scenario.WithAlgorithms("RD"),
+	}
+	tr := runScenario(t, "fig4-transpose", opts...)
+	uni := runScenario(t, "fig4", opts...)
+	if tr.Figure.Format() == uni.Figure.Format() {
+		t.Error("transpose pattern produced byte-identical output to the uniform pattern")
+	}
+}

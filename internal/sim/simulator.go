@@ -77,6 +77,13 @@ type Simulator struct {
 	fired   uint64
 	limit   uint64 // safety valve; 0 means no limit
 	stopped bool
+	// env is the coordinator execution context handed to every event
+	// body that runs on this thread (all of them, on a serial
+	// simulator).
+	env Env
+	// sh is the conservative-parallel kernel state; nil on a serial
+	// simulator (see shard.go).
+	sh *sharded
 }
 
 // New returns an empty simulator with the clock at zero, backed by the
@@ -90,6 +97,7 @@ func New() *Simulator {
 // calendar implementation.
 func NewWithCalendar(c Calendar) *Simulator {
 	s := &Simulator{kind: c}
+	s.env = Env{shard: -1, s: s}
 	switch c {
 	case Ladder:
 		s.lq = newLadderQueue()
@@ -120,7 +128,7 @@ func (s *Simulator) SetEventLimit(n uint64) { s.limit = n }
 // calendar. An Action is a single pointer, so boxing it into the
 // record's arg is allocation-free; only the closure the caller built
 // costs an allocation.
-func runClosure(arg any) { arg.(Action)() }
+func runClosure(_ *Env, arg any) { arg.(Action)() }
 
 // At schedules action to run at absolute time t. Scheduling in the
 // past panics: it is always a logic error in a discrete-event model.
@@ -177,8 +185,15 @@ func (s *Simulator) AfterCall(delay Time, fn Func, arg any) {
 	s.AtCall(s.now+delay, fn, arg)
 }
 
-// Pending reports the number of events waiting on the calendar.
-func (s *Simulator) Pending() int { return s.queue.Len() }
+// Pending reports the number of events waiting on the calendar (all
+// shard calendars included on a sharded simulator).
+func (s *Simulator) Pending() int {
+	p := s.queue.Len()
+	if s.sh != nil {
+		p += s.sh.pending()
+	}
+	return p
+}
 
 // Stop ends the simulation: the running Run/RunUntil loop exits after
 // the current event returns, and any further scheduling panics with a
@@ -210,12 +225,19 @@ func (s *Simulator) Step() bool {
 	}
 	s.now = e.due
 	s.fired++
-	e.fn(e.arg)
+	e.fn(&s.env, e.arg)
 	return true
 }
 
 // Run executes events until the calendar is empty or Stop is called.
+// On a sharded simulator (EnableSharding) this is the coordinator of
+// the conservative-parallel kernel; worker goroutines live only for
+// the duration of the call.
 func (s *Simulator) Run() {
+	if s.sh != nil {
+		s.runSharded(math.Inf(1))
+		return
+	}
 	for s.Step() {
 		if s.limit > 0 && s.fired >= s.limit {
 			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", s.limit, s.now))
@@ -227,6 +249,16 @@ func (s *Simulator) Run() {
 // horizon if the calendar still holds later events, or at the last
 // executed event otherwise, in which case ErrStalled is returned.
 func (s *Simulator) RunUntil(horizon Time) error {
+	if s.sh != nil {
+		s.runSharded(horizon)
+		if s.Pending() == 0 {
+			return ErrStalled
+		}
+		if !s.stopped {
+			s.now = horizon
+		}
+		return nil
+	}
 	for !s.stopped && s.queue.Len() > 0 && s.queue.peek().due <= horizon {
 		s.Step()
 		if s.limit > 0 && s.fired >= s.limit {

@@ -15,6 +15,7 @@ package traffic
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/broadcast"
 	"repro/internal/network"
@@ -22,6 +23,28 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
+)
+
+// Unicast destination patterns of the mixed workload. Every non-
+// uniform pattern gates its extra work (and any extra random draw)
+// behind its own activation, so a uniform run consumes exactly the
+// historical random stream and reproduces byte-identically.
+const (
+	// PatternUniform draws every unicast destination uniformly from
+	// the other nodes — the paper's model and the default ("" means
+	// the same).
+	PatternUniform = "uniform"
+	// PatternTranspose sends every unicast from coordinate
+	// (a₀,…,aₖ₋₁) to its reversal (aₖ₋₁,…,a₀) — the classic matrix-
+	// transpose permutation (on a 2D mesh: (x,y)→(y,x)). It needs a
+	// palindromic shape (dims[i] == dims[k-1-i]); a diagonal node,
+	// whose transpose is itself, falls back to one uniform draw.
+	PatternTranspose = "transpose"
+	// PatternBitReversal sends node i to the node whose index is i's
+	// bit reversal in ⌈log₂ n⌉ bits — the FFT communication
+	// permutation. Palindromic indices, and reversals landing outside
+	// a non-power-of-two node count, fall back to one uniform draw.
+	PatternBitReversal = "bit-reversal"
 )
 
 // MixedConfig parameterises the unicast+broadcast workload.
@@ -42,6 +65,11 @@ type MixedConfig struct {
 	// selector here so the whole system benefits from adaptivity,
 	// matching the paper's attribution of AB's advantage.
 	Unicast routing.Selector
+	// Pattern selects the unicast destination distribution: "" or
+	// PatternUniform (the default), PatternTranspose, or
+	// PatternBitReversal. The deterministic patterns cannot combine
+	// with HotspotFraction.
+	Pattern string
 	// HotspotFraction is the probability a unicast targets the
 	// Hotspot node instead of a uniformly random destination — the
 	// classic contended-memory-module pattern. Zero (the default)
@@ -148,6 +176,23 @@ func RunMixedWith(m *topology.Mesh, ncfg network.Config, cfg MixedConfig) (*Mixe
 	if cfg.HotspotFraction > 0 && (cfg.Hotspot < 0 || int(cfg.Hotspot) >= m.Nodes()) {
 		return nil, fmt.Errorf("traffic: hotspot node %d outside [0,%d)", cfg.Hotspot, m.Nodes())
 	}
+	switch cfg.Pattern {
+	case "", PatternUniform:
+	case PatternTranspose:
+		for i, j := 0, m.NDims()-1; i < j; i, j = i+1, j-1 {
+			if m.Dim(i) != m.Dim(j) {
+				return nil, fmt.Errorf("traffic: the transpose pattern needs a palindromic shape, got %s", m.Name())
+			}
+		}
+		fallthrough
+	case PatternBitReversal:
+		if cfg.HotspotFraction > 0 {
+			return nil, fmt.Errorf("traffic: pattern %q cannot combine with a hotspot fraction", cfg.Pattern)
+		}
+	default:
+		return nil, fmt.Errorf("traffic: unknown pattern %q (want %s, %s or %s)",
+			cfg.Pattern, PatternUniform, PatternTranspose, PatternBitReversal)
+	}
 	if m.Nodes() < 2 {
 		return nil, fmt.Errorf("traffic: mixed workload needs at least two nodes")
 	}
@@ -181,6 +226,36 @@ func runMixedOn(s *sim.Simulator, net *network.Network, m *topology.Mesh, cfg Mi
 	res := &MixedResult{}
 	rng := sim.NewRNG(cfg.Seed, 11)
 	n := m.Nodes()
+
+	// patDst maps a source to its deterministic pattern destination,
+	// or to itself when the permutation has no valid image (a diagonal
+	// node under transpose, an out-of-range reversal on a non-power-
+	// of-two network) — the caller treats self as "fall back to one
+	// uniform draw". nil for the uniform and hotspot patterns, whose
+	// random streams stay exactly historical.
+	var patDst func(topology.NodeID) topology.NodeID
+	switch cfg.Pattern {
+	case PatternTranspose:
+		nd := m.NDims()
+		coords := make([]int, nd)
+		rev := make([]int, nd)
+		patDst = func(src topology.NodeID) topology.NodeID {
+			m.CoordInto(src, coords)
+			for i, c := range coords {
+				rev[nd-1-i] = c
+			}
+			return m.ID(rev...)
+		}
+	case PatternBitReversal:
+		b := bits.Len(uint(n - 1))
+		patDst = func(src topology.NodeID) topology.NodeID {
+			r := topology.NodeID(bits.Reverse64(uint64(src)) >> (64 - b))
+			if int(r) >= n {
+				return src
+			}
+			return r
+		}
+	}
 
 	planCache := make(map[topology.NodeID]*broadcast.Plan)
 	planFor := func(src topology.NodeID) (*broadcast.Plan, error) {
@@ -266,6 +341,13 @@ func runMixedOn(s *sim.Simulator, net *network.Network, m *topology.Mesh, cfg Mi
 				// historical random stream.
 				if cfg.HotspotFraction > 0 && rng.Float64() < cfg.HotspotFraction && node != cfg.Hotspot {
 					dst = cfg.Hotspot
+				}
+				if dst < 0 && patDst != nil {
+					// Deterministic permutation patterns: no draw at all
+					// unless the node maps to itself.
+					if d := patDst(node); d != node {
+						dst = d
+					}
 				}
 				if dst < 0 {
 					dst = topology.NodeID(rng.Intn(n - 1))

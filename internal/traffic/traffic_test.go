@@ -155,3 +155,88 @@ func TestLatencyFinite(t *testing.T) {
 		}
 	}
 }
+
+// TestPatternValidation rejects unknown spellings, non-palindromic
+// transpose shapes, and pattern+hotspot combinations.
+func TestPatternValidation(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	bad := func(mut func(*MixedConfig)) MixedConfig {
+		cfg := quickCfg(broadcast.NewDB())
+		mut(&cfg)
+		return cfg
+	}
+	cases := []struct {
+		name string
+		m    *topology.Mesh
+		cfg  MixedConfig
+	}{
+		{"unknown pattern", m, bad(func(c *MixedConfig) { c.Pattern = "butterfly" })},
+		{"non-palindromic transpose", topology.NewMesh(4, 8), bad(func(c *MixedConfig) { c.Pattern = PatternTranspose })},
+		{"transpose+hotspot", m, bad(func(c *MixedConfig) { c.Pattern = PatternTranspose; c.HotspotFraction = 0.1; c.Hotspot = 3 })},
+		{"bit-reversal+hotspot", m, bad(func(c *MixedConfig) { c.Pattern = PatternBitReversal; c.HotspotFraction = 0.1; c.Hotspot = 3 })},
+	}
+	for _, tc := range cases {
+		if _, err := RunMixed(tc.m, tc.cfg); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+	// The explicit uniform spelling and the palindromic transpose both
+	// pass validation.
+	for _, cfg := range []MixedConfig{
+		bad(func(c *MixedConfig) { c.Pattern = PatternUniform }),
+		bad(func(c *MixedConfig) { c.Pattern = PatternTranspose }),
+		bad(func(c *MixedConfig) { c.Pattern = PatternBitReversal }),
+	} {
+		if _, err := RunMixed(m, cfg); err != nil {
+			t.Errorf("pattern %q rejected: %v", cfg.Pattern, err)
+		}
+	}
+}
+
+// TestPatternRunsDiffer pins that each active pattern changes the
+// workload: same seed, same shape, different destination streams.
+func TestPatternRunsDiffer(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	run := func(pattern string) *MixedResult {
+		cfg := quickCfg(broadcast.NewRD())
+		cfg.Pattern = pattern
+		res, err := RunMixed(m, cfg)
+		if err != nil {
+			t.Fatalf("pattern %q: %v", pattern, err)
+		}
+		return res
+	}
+	uni := run("")
+	explicit := run(PatternUniform)
+	// "" and "uniform" are the same pattern byte for byte.
+	if uni.MeanLatency != explicit.MeanLatency || uni.Duration != explicit.Duration {
+		t.Error(`"" and "uniform" diverge`)
+	}
+	if tr := run(PatternTranspose); tr.Duration == uni.Duration && tr.MeanLatency == uni.MeanLatency {
+		t.Error("transpose matched uniform exactly; pattern appears inactive")
+	}
+	if br := run(PatternBitReversal); br.Duration == uni.Duration && br.MeanLatency == uni.MeanLatency {
+		t.Error("bit-reversal matched uniform exactly; pattern appears inactive")
+	}
+}
+
+// TestPatternDeterminism: the deterministic patterns are as
+// reproducible as the uniform one.
+func TestPatternDeterminism(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	for _, pattern := range []string{PatternTranspose, PatternBitReversal} {
+		cfg := quickCfg(broadcast.NewRD())
+		cfg.Pattern = pattern
+		a, err := RunMixed(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunMixed(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.MeanLatency != b.MeanLatency || a.Injected != b.Injected || a.Duration != b.Duration {
+			t.Errorf("pattern %q not deterministic", pattern)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/broadcast"
 	"repro/internal/experiments"
 	"repro/internal/export"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/routing"
@@ -262,6 +263,13 @@ type (
 	MixedConfig = traffic.MixedConfig
 	// MixedResult reports a mixed-traffic run.
 	MixedResult = traffic.MixedResult
+	// DegradedConfig parameterises the fault-degraded CV study.
+	DegradedConfig = metrics.DegradedConfig
+	// DegradationStats aggregates a degraded study's coverage,
+	// latency and drop outcomes.
+	DegradationStats = metrics.DegradationStats
+	// FaultPlan is a validated schedule of link/node fault events.
+	FaultPlan = fault.Plan
 )
 
 // Parallel experiment orchestration.
@@ -310,6 +318,21 @@ func SingleSourceStudyOn(p *Pool, m *Mesh, algo Algorithm, cfg Config, length, r
 // one shared network — the paper's §3.2 node-level study.
 func ContendedCVStudy(m *Mesh, algo Algorithm, cfg ContendedConfig) (*SingleSourceStats, error) {
 	return metrics.ContendedCVStudy(m, algo, cfg)
+}
+
+// DegradedStudy is ContendedCVStudy on a network running a fault
+// plan: same traffic schedule at the same seed, plus coverage and
+// drop accounting — the paired-twin comparison behind the fault
+// figures (cmd/meshsim's -faults flag goes through here).
+func DegradedStudy(m *Mesh, algo Algorithm, cfg DegradedConfig) (*DegradationStats, error) {
+	return metrics.DegradedStudy(m, algo, cfg)
+}
+
+// RandomLinkFaults returns a deterministic plan failing the first k
+// links of the seed-determined permutation of m's undirected links
+// (both directions) at time at. Plans of the same (m, seed) nest.
+func RandomLinkFaults(m *Mesh, seed uint64, k int, at Time) (*FaultPlan, error) {
+	return fault.RandomLinks(m, seed, k, at)
 }
 
 // SaturationConfig returns the Fig. 2-style saturation workload the
@@ -446,6 +469,10 @@ var (
 	// WithStore selects the substrate memory model: "auto" (default),
 	// "dense", or "lazy" ("" keeps the registered mode).
 	WithStore = scenario.WithStore
+	// WithShards partitions each simulation across k shard calendars
+	// of the conservative-parallel kernel (<= 1 keeps the serial
+	// kernel); output is bit-identical at every shard count.
+	WithShards = scenario.WithShards
 )
 
 // FaultSpec declares a scenario's deterministic fault injection:
