@@ -117,6 +117,23 @@ func (c Config) validate() error {
 	if c.Shards < 0 {
 		return fmt.Errorf("network: negative shard count %d", c.Shards)
 	}
+	if c.Shards > 1 {
+		// The sharded kernel's correctness rests on the per-hop delay
+		// being the minimum delay of ANY event a shard-class event can
+		// schedule — the conservative lookahead. Besides the next hop
+		// (exactly one hop delay out), a shard-class event can reach a
+		// Ts-delayed injection grant (a release handing a port to a
+		// queued worm) and a DeadWait-delayed park timeout, so both must
+		// be at least the hop delay; a zero DeadWait schedules nothing
+		// (such worms drop on the spot) and stays valid.
+		hop := c.hopDelay()
+		if c.Ts < hop {
+			return fmt.Errorf("network: sharded kernel needs startup latency >= per-hop delay (the lookahead): Ts=%g < %g", c.Ts, hop)
+		}
+		if c.DeadWait > 0 && c.DeadWait < hop {
+			return fmt.Errorf("network: sharded kernel needs dead-hop wait >= per-hop delay (the lookahead): DeadWait=%g < %g", c.DeadWait, hop)
+		}
+	}
 	return nil
 }
 
@@ -282,9 +299,11 @@ func New(s *sim.Simulator, topo topology.Topology, cfg Config) (*Network, error)
 		p := topology.NewPartition(n.mesh, cfg.Shards)
 		if k := p.Shards(); k > 1 {
 			s.EnableSharding(k)
-			// The per-hop routing delay is the hard lookahead: the only
-			// event a shard-class event ever schedules is the next
-			// header advance, one hop delay out.
+			// The per-hop routing delay is the hard lookahead: it is
+			// the minimum delay of any event a shard-class event can
+			// schedule — the next header advance is exactly one hop
+			// delay out, and validate() holds Ts and any positive
+			// DeadWait at or above it.
 			s.SetLookahead(n.hop)
 			n.part = p
 			n.ndims2 = n.mesh.NDims() * 2

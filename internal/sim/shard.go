@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
 	"sync/atomic"
 )
 
@@ -285,6 +286,20 @@ type sharded struct {
 	degraded bool
 	running  bool
 
+	// gen is the segment generation counter. It lives here — not on a
+	// worker — and is never reset, so it stays monotonic across
+	// Run/RunUntil calls: a worker's done only ever equals generations
+	// that worker actually completed, and a later run can never mistake
+	// a previous run's completion for its own (which would skip the
+	// segment and re-merge the worker's stale child buffer).
+	gen uint32
+
+	// wg tracks live worker goroutines so stopWorkers can join them;
+	// without the join a worker that had not yet observed quit could
+	// survive into the next run alongside its replacement, racing it
+	// on the same shard calendar.
+	wg sync.WaitGroup
+
 	// envs[i] is the coordinator-side context for inline execution of
 	// shard i's events (scratch slot i, direct scheduling).
 	envs []Env
@@ -391,12 +406,18 @@ func (sh *sharded) startWorkers() {
 	sh.running = true
 	for _, w := range sh.workers[1:] {
 		w.quit.Store(false)
-		go w.loop()
+		sh.wg.Add(1)
+		go func() {
+			defer sh.wg.Done()
+			w.loop()
+		}()
 	}
 }
 
-// stopWorkers terminates the worker goroutines. Called when a run
-// completes so simulators can be dropped without leaking goroutines.
+// stopWorkers terminates the worker goroutines and joins them. Called
+// when a run completes so simulators can be dropped without leaking
+// goroutines; the join guarantees the next startWorkers never spawns a
+// replacement while an old goroutine still services the same worker.
 func (sh *sharded) stopWorkers() {
 	if !sh.running {
 		return
@@ -411,6 +432,7 @@ func (sh *sharded) stopWorkers() {
 			}
 		}
 	}
+	sh.wg.Wait()
 }
 
 // dispatch publishes a segment bound to worker w and wakes it.
@@ -527,7 +549,6 @@ func (s *Simulator) runSharded(horizon Time) {
 		sh.startWorkers()
 	}
 	defer sh.stopWorkers()
-	gen := sh.workers[0].gen.Load()
 
 	// horizonBound is the exclusive due bound equivalent to the
 	// inclusive horizon: due <= horizon  <=>  due < nextafter(horizon).
@@ -622,7 +643,8 @@ func (s *Simulator) runSharded(horizon Time) {
 
 		// Parallel segment. Workers 1..K-1 get the bound; shard 0 (if
 		// active) runs on this thread.
-		gen++
+		sh.gen++
+		gen := sh.gen
 		var self *shardWorker
 		for _, w := range active {
 			if w.idx == 0 {
@@ -634,7 +656,6 @@ func (s *Simulator) runSharded(horizon Time) {
 		}
 		if self != nil {
 			self.runSegment()
-			self.done.Store(gen)
 		}
 		maxDue := s.now
 		var nExec uint64
@@ -668,6 +689,18 @@ func (s *Simulator) runShardInline(i int, limDue Time, limSeq uint64) {
 			return
 		}
 		cal.pop()
+		if e.due < s.now {
+			// The drain limit was computed from the calendar fronts when
+			// the drain opened; it is only exact because every delay a
+			// shard-class event can schedule is at least the lookahead
+			// window (network.Config.validate enforces Ts and DeadWait
+			// >= the hop delay on sharded runs). A regressing clock here
+			// means an event was scheduled below the open limit — a
+			// causality violation that must be loud, not a silent
+			// divergence from the serial kernel.
+			panic(fmt.Sprintf("sim: shard %d clock regression: event due %v before now=%v (scheduled below the open drain limit)",
+				i, e.due, s.now))
+		}
 		s.now = e.due
 		s.fired++
 		e.fn(env, e.arg)

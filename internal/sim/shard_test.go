@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// These tests pin the sharded kernel's lifecycle across repeated
+// Run/RunUntil calls on ONE simulator. The metrics-level differential
+// suite runs each study in a fresh simulator, so it can never see the
+// restart bugs this file exists for: a segment-generation counter that
+// resets between runs (skipping segments and re-merging a worker's
+// stale child buffer) or a worker goroutine surviving into the next
+// run alongside its replacement (two goroutines racing on one shard
+// calendar — run these under -race).
+
+const (
+	rotorShards = 4
+	rotorWindow = Time(1.0)
+)
+
+// rotorTrace records what a rotor workload executed. perShard[i] is
+// appended only by shard i's events (one worker at a time), serial
+// only by coordinator-class events, so the sharded kernel can fill it
+// without races and the slices compare exactly against a serial run.
+type rotorTrace struct {
+	perShard [][]Time
+	serial   []Time
+}
+
+// rotor is a self-perpetuating shard-class event: it records its
+// firing, hands itself to the next shard one lookahead window out,
+// and every third firing echoes a serial-class event. The schedule it
+// generates keeps all four shard fronts inside one window, so every
+// segment of a sharded run activates every worker.
+type rotor struct {
+	tr    *rotorTrace
+	shard int32
+	n     int
+	limit int // stop respawning after this many firings; 0 = forever
+}
+
+func rotorEvent(env *Env, arg any) {
+	r := arg.(*rotor)
+	tr := r.tr
+	tr.perShard[r.shard] = append(tr.perShard[r.shard], env.Now())
+	r.n++
+	if r.limit > 0 && r.n >= r.limit {
+		return
+	}
+	next := (r.shard + 1) % rotorShards
+	env.AfterCallShard(rotorWindow, rotorEvent,
+		&rotor{tr: tr, shard: next, n: r.n, limit: r.limit}, next)
+	if r.n%3 == 0 {
+		env.AfterCallShard(rotorWindow, echoEvent, tr, -1)
+	}
+}
+
+func echoEvent(env *Env, arg any) {
+	tr := arg.(*rotorTrace)
+	tr.serial = append(tr.serial, env.Now())
+}
+
+// startRotors schedules one rotor per shard at staggered offsets past
+// the current clock (all within one window) and returns the trace
+// they will fill.
+func startRotors(s *Simulator, limit int) *rotorTrace {
+	tr := &rotorTrace{perShard: make([][]Time, rotorShards)}
+	base := s.Now()
+	for i := int32(0); i < rotorShards; i++ {
+		s.Env().AtCallShard(base+Time(i)*0.25, rotorEvent,
+			&rotor{tr: tr, shard: i, limit: limit}, i)
+	}
+	return tr
+}
+
+// newShardedSim returns a simulator running the 4-shard kernel with
+// the rotor workload's lookahead window installed.
+func newShardedSim() *Simulator {
+	s := New()
+	s.EnableSharding(rotorShards)
+	s.SetLookahead(rotorWindow)
+	return s
+}
+
+// TestShardedRepeatedRunUntilIdentical steps one sharded simulator
+// through many RunUntil horizons — the natural use of RunUntil, and
+// the pattern that exposes any kernel state not carried across runs —
+// and requires the execution trace, event count and clock to match a
+// serial twin exactly.
+func TestShardedRepeatedRunUntilIdentical(t *testing.T) {
+	drive := func(s *Simulator) *rotorTrace {
+		tr := startRotors(s, 0)
+		h := Time(0)
+		for i := 0; i < 150; i++ {
+			h += 0.7
+			if err := s.RunUntil(h); err != nil {
+				t.Fatalf("RunUntil(%v): %v", h, err)
+			}
+		}
+		return tr
+	}
+	serial := New()
+	want := drive(serial)
+	sharded := newShardedSim()
+	got := drive(sharded)
+
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("sharded trace diverges from serial across repeated RunUntil calls:\nserial: %+v\nsharded: %+v", want, got)
+	}
+	if serial.Fired() != sharded.Fired() {
+		t.Errorf("fired %d events sharded, want %d", sharded.Fired(), serial.Fired())
+	}
+	if serial.Now() != sharded.Now() {
+		t.Errorf("clock = %v sharded, want %v", sharded.Now(), serial.Now())
+	}
+}
+
+// TestShardedRepeatedRunIdentical runs one sharded simulator to
+// completion twice — a finite rotor batch, Run, a fresh batch, Run
+// again — so the second Run starts with workers holding completed
+// state from the first.
+func TestShardedRepeatedRunIdentical(t *testing.T) {
+	drive := func(s *Simulator) []*rotorTrace {
+		var traces []*rotorTrace
+		for round := 0; round < 3; round++ {
+			tr := startRotors(s, 40)
+			s.Run()
+			traces = append(traces, tr)
+		}
+		return traces
+	}
+	serial := New()
+	want := drive(serial)
+	sharded := newShardedSim()
+	got := drive(sharded)
+
+	for i := range want {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Errorf("round %d: sharded trace diverges from serial across repeated Run calls:\nserial: %+v\nsharded: %+v", i, *want[i], *got[i])
+		}
+	}
+	if serial.Fired() != sharded.Fired() {
+		t.Errorf("fired %d events sharded, want %d", sharded.Fired(), serial.Fired())
+	}
+}
+
+// TestStepPanicsOnSharded: the single-step debug API pops only the
+// serial calendar, so on a sharded kernel it must refuse loudly
+// instead of executing events out of global order.
+func TestStepPanicsOnSharded(t *testing.T) {
+	s := newShardedSim()
+	s.At(1, func() {})
+	mustPanicWith(t, "sim: Step on a sharded simulator (use Run or RunUntil)", func() {
+		s.Step()
+	})
+}

@@ -206,8 +206,14 @@ func (s *Simulator) Stop() { s.stopped = true }
 func (s *Simulator) Stopped() bool { return s.stopped }
 
 // Step executes the earliest pending event, advancing the clock to its
-// due time. It reports whether an event was executed.
+// due time. It reports whether an event was executed. Step is a serial
+// debugging entry point: on a sharded simulator it would pop only the
+// serial calendar and execute events out of global order, so it panics
+// there — drive a sharded kernel with Run or RunUntil.
 func (s *Simulator) Step() bool {
+	if s.sh != nil {
+		panic("sim: Step on a sharded simulator (use Run or RunUntil)")
+	}
 	if s.stopped {
 		return false
 	}
