@@ -20,7 +20,9 @@
 // simulation is partitioned across that many shard calendars of the
 // conservative-parallel kernel, with byte-identical output at any
 // count — `paperbench -shards 8` must diff empty against a serial
-// run.
+// run. The -wavefront knob (default on) selects batched execution of
+// same-instant events; -wavefront=false pops one event at a time, and
+// the output must again diff empty — CI pins both identities.
 //
 // The -cpuprofile and -memprofile flags write standard pprof
 // profiles of the whole run, exactly as `go test` would.
@@ -116,7 +118,8 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 
-		calName = flag.String("calendar", "ladder", "event calendar backing the simulation kernel: ladder or heap (byte-identical output, different speed)")
+		calName   = flag.String("calendar", "ladder", "event calendar backing the simulation kernel: ladder or heap (byte-identical output, different speed)")
+		wavefront = flag.Bool("wavefront", true, "execute same-instant event batches as wavefronts (byte-identical output; false pops one event at a time)")
 
 		benchJSON     = flag.String("benchjson", "", "run the saturation-load benchmark and merge results into this JSON artifact (skips the figures)")
 		benchPhase    = flag.String("benchphase", "optimized", "phase label for -benchjson results (heap, ladder, baseline, optimized, torus, ci, ...; dense or lazy with -benchworkload scale)")
@@ -144,6 +147,7 @@ func main() {
 		os.Exit(1)
 	}
 	wormsim.SetDefaultCalendar(cal)
+	wormsim.SetDefaultWavefront(*wavefront)
 
 	if *benchGuard != "" {
 		if err := runBenchGuard(*benchGuard, *benchBaseline, *benchTol, *benchGdMode); err != nil {

@@ -31,6 +31,11 @@
 // worker pool automatically narrows so shards × workers stays at one
 // thread per core.
 //
+// The -wavefront flag (default on) selects batched execution of
+// same-instant events in the kernel; -wavefront=false pops one event
+// at a time. Output is byte-identical either way — the knob exists
+// for the differential CI gate and for measuring the batching win.
+//
 // The -cpuprofile and -memprofile flags write standard pprof
 // profiles of the whole run, exactly as `go test` would:
 //
@@ -65,18 +70,19 @@ import (
 
 func main() {
 	var (
-		what     = flag.String("what", "fig1", "which scenario to run, or 'list' for all names")
-		meshSpec = flag.String("mesh", "", "topology override, e.g. 8x8x8 (collapses size sweeps to one shape)")
-		reps     = flag.Int("reps", 0, "replication override (0 = scenario default)")
-		seed     = flag.Uint64("seed", 2005, "random seed")
-		out      = flag.String("o", "", "output file (default stdout)")
-		procs    = flag.Int("procs", 0, "max parallel replications (0 = all cores); output is identical for any value")
-		faults   = flag.Int("faults", 0, "fail this many random undirected links in every cell of a contended scenario (0 = scenario default)")
-		store    = flag.String("store", "", "substrate memory model: auto, dense, or lazy (empty = scenario default)")
-		calName  = flag.String("calendar", "ladder", "event calendar backing the simulation kernel: ladder or heap (byte-identical output, different speed)")
-		shards   = flag.Int("shards", 0, "partition each simulation across this many shard calendars of the conservative-parallel kernel (0/1 = serial; output is byte-identical)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		what      = flag.String("what", "fig1", "which scenario to run, or 'list' for all names")
+		meshSpec  = flag.String("mesh", "", "topology override, e.g. 8x8x8 (collapses size sweeps to one shape)")
+		reps      = flag.Int("reps", 0, "replication override (0 = scenario default)")
+		seed      = flag.Uint64("seed", 2005, "random seed")
+		out       = flag.String("o", "", "output file (default stdout)")
+		procs     = flag.Int("procs", 0, "max parallel replications (0 = all cores); output is identical for any value")
+		faults    = flag.Int("faults", 0, "fail this many random undirected links in every cell of a contended scenario (0 = scenario default)")
+		store     = flag.String("store", "", "substrate memory model: auto, dense, or lazy (empty = scenario default)")
+		calName   = flag.String("calendar", "ladder", "event calendar backing the simulation kernel: ladder or heap (byte-identical output, different speed)")
+		shards    = flag.Int("shards", 0, "partition each simulation across this many shard calendars of the conservative-parallel kernel (0/1 = serial; output is byte-identical)")
+		wavefront = flag.Bool("wavefront", true, "execute same-instant event batches as wavefronts (byte-identical output; false pops one event at a time)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -91,6 +97,7 @@ func main() {
 		fatal(err)
 	}
 	wormsim.SetDefaultCalendar(cal)
+	wormsim.SetDefaultWavefront(*wavefront)
 
 	name := strings.ToLower(*what)
 	if name == "list" {

@@ -4,7 +4,7 @@
 // load explicitly when its admission queue fills (429 + Retry-After).
 //
 //	wormsimd serve -addr :8080                # start the daemon
-//	wormsimd serve -queue 128 -cache 4096     # bigger admission + cache
+//	wormsimd serve -queue 128 -cache 256      # bigger admission + 256 MiB cache
 //	wormsimd loadgen -addr http://host:8080 \
 //	    -scenario fig1 -mesh 4x4x4 -requests 500 -o BENCH_pr8.json
 //
@@ -59,7 +59,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  wormsimd serve   [-addr :8080] [-procs N] [-queue N] [-cache N] [-calendar ladder|heap]
+  wormsimd serve   [-addr :8080] [-procs N] [-queue N] [-cache MiB] [-calendar ladder|heap]
   wormsimd loadgen [-addr URL] [-scenario NAME] [-mesh AxBxC] [-reps N] [-seed S]
                    [-format csv|json|text] [-concurrency N] [-requests N] [-misses N] [-o FILE]`)
 	os.Exit(2)
@@ -76,7 +76,7 @@ func serve(args []string) {
 		addr    = fs.String("addr", ":8080", "listen address")
 		procs   = fs.Int("procs", 0, "simulation workers (0 = all cores)")
 		queue   = fs.Int("queue", 64, "admission queue bound: misses beyond running+queued are shed with 429")
-		cache   = fs.Int("cache", 1024, "result cache capacity in rendered bodies (LRU)")
+		cache   = fs.Int("cache", 64, "result cache budget in MiB of rendered bodies (LRU; oversized bodies bypass)")
 		calName = fs.String("calendar", "ladder", "event calendar backing the kernel: ladder or heap (part of the cache key)")
 	)
 	fs.Parse(args)
@@ -87,7 +87,7 @@ func serve(args []string) {
 	}
 	wormsim.SetDefaultCalendar(cal)
 
-	s := service.New(service.Config{Procs: *procs, QueueCap: *queue, CacheEntries: *cache})
+	s := service.New(service.Config{Procs: *procs, QueueCap: *queue, CacheBytes: int64(*cache) << 20})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -239,11 +239,8 @@ const StreamThreshold = 1 << 16
 // src, run the simulation to completion and return the result. At or
 // above StreamThreshold nodes the result streams (Result.Streaming).
 func RunSingle(m *topology.Mesh, algo Algorithm, src topology.NodeID, cfg network.Config, length int) (*Result, error) {
-	plan, err := algo.Plan(m, src)
+	plan, err := PlanCached(m, algo, src)
 	if err != nil {
-		return nil, err
-	}
-	if err := plan.Validate(m); err != nil {
 		return nil, err
 	}
 	cfg.Ports = algo.Ports()

@@ -205,9 +205,6 @@ type Network struct {
 	// lane index IS the physical channel ID and nothing changes.
 	vcs int
 
-	// wormFree is the per-network worm pool; see getWorm/putWorm.
-	wormFree []*worm
-
 	// Fault state (health.go). health stays nil until the first
 	// failure is injected, so the hot path pays one nil test and a
 	// pristine network is byte- and allocation-identical to the
@@ -225,6 +222,12 @@ type Network struct {
 	// concurrently across shards.
 	candScratch   []topology.NodeID
 	candScratchSh [][]topology.NodeID
+
+	// hopScratch is candScratch's channel-resolved twin: the buffer
+	// advance hands to ChannelAppender selectors, with the same
+	// per-context ownership rules.
+	hopScratch   []routing.Hop
+	hopScratchSh [][]routing.Hop
 
 	// part is the shard partition of the conservative-parallel kernel;
 	// nil on a serial network. ndims2 caches NDims·2 for the lane →
@@ -308,6 +311,7 @@ func New(s *sim.Simulator, topo topology.Topology, cfg Config) (*Network, error)
 			n.part = p
 			n.ndims2 = n.mesh.NDims() * 2
 			n.candScratchSh = make([][]topology.NodeID, k+1)
+			n.hopScratchSh = make([][]routing.Hop, k+1)
 		}
 	}
 	return n, nil
@@ -350,6 +354,14 @@ func (n *Network) scratch(env *sim.Env) *[]topology.NodeID {
 		return &n.candScratch
 	}
 	return &n.candScratchSh[env.Shard()+1]
+}
+
+// hopScratchFor is scratch for the channel-resolved candidate buffer.
+func (n *Network) hopScratchFor(env *sim.Env) *[]routing.Hop {
+	if n.hopScratchSh == nil {
+		return &n.hopScratch
+	}
+	return &n.hopScratchSh[env.Shard()+1]
 }
 
 // MustNew is New for known-good configurations; it panics on error.

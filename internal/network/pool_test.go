@@ -106,34 +106,48 @@ func TestUnicastHotPathAllocationBudget(t *testing.T) {
 }
 
 // TestWormPoolRecyclesCleanly checks the pooled-object lifecycle at
-// the unit level: a recycled worm re-enters service with empty
-// per-hop state and no reference to its previous Transfer.
+// the unit level: putWorm must return a worm to the process-wide pool
+// with empty per-hop state, no reference to its previous Transfer or
+// network, and its grown slice capacity intact. The test retains the
+// pointer across putWorm — the reset happens in place, so the
+// invariant is checkable without depending on sync.Pool internals.
 func TestWormPoolRecyclesCleanly(t *testing.T) {
 	s := sim.New()
 	m := topology.NewMesh(4, 4)
 	n := MustNew(s, m, DefaultConfig())
-	n.MustSend(0, &Transfer{Source: m.ID(0, 0), Waypoints: []topology.NodeID{m.ID(3, 3)}, Length: 16})
-	s.Run()
-	if len(n.wormFree) != 1 {
-		t.Fatalf("pool holds %d worms, want 1", len(n.wormFree))
-	}
-	w := n.wormFree[0]
+	w := n.getWorm()
+	w.net = n
+	w.t = &Transfer{Source: m.ID(0, 0), Waypoints: []topology.NodeID{m.ID(3, 3)}, Length: 16}
+	w.cur = m.ID(1, 1)
+	w.wpIdx = 1
+	w.path = append(w.path, m.ID(0, 0), m.ID(1, 0))
+	w.grants = append(w.grants, 1, 2)
+	w.chans = append(w.chans, 3, 4)
+	w.deliver = append(w.deliver, 2)
+	w.relRecs = append(w.relRecs, laneRel{})
+	w.relCur, w.delCur = 1, 1
+	wantCap := cap(w.path)
+	n.putWorm(w)
 	if w.t != nil || w.net != nil {
 		t.Error("recycled worm retains its transfer or network")
 	}
 	if len(w.path) != 0 || len(w.chans) != 0 || len(w.grants) != 0 || len(w.deliver) != 0 {
 		t.Error("recycled worm retains per-hop state")
 	}
-	if len(w.relRecs) != 0 || w.delCur != 0 {
+	if len(w.relRecs) != 0 || w.relCur != 0 || w.delCur != 0 {
 		t.Error("recycled worm retains drain cursors")
 	}
-	if cap(w.path) == 0 || cap(w.chans) == 0 {
+	if cap(w.path) != wantCap || cap(w.chans) == 0 {
 		t.Error("recycled worm lost its slice capacity")
 	}
-	// The next send must reuse the pooled worm, not allocate afresh.
-	n.MustSend(s.Now(), &Transfer{Source: m.ID(1, 1), Waypoints: []topology.NodeID{m.ID(2, 2)}, Length: 8})
-	if len(n.wormFree) != 0 {
-		t.Error("send did not take the pooled worm")
+	if w.waiting != topology.InvalidChannel {
+		t.Error("recycled worm still waits on a channel")
 	}
+	// A full send/drain cycle must leave nothing in flight and recycle
+	// through the same code path.
+	n.MustSend(0, &Transfer{Source: m.ID(0, 0), Waypoints: []topology.NodeID{m.ID(3, 3)}, Length: 16})
 	s.Run()
+	if n.InFlight() != 0 {
+		t.Fatalf("%d worms still in flight", n.InFlight())
+	}
 }

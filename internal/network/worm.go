@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -10,8 +11,8 @@ import (
 
 // worm is the runtime state of one in-flight transfer.
 //
-// Worms are pooled per network: a drained worm returns to the free
-// list with its per-hop slices' capacity intact, so the saturation
+// Worms are pooled process-wide: a drained worm returns to the free
+// pool with its per-hop slices' capacity intact, so the saturation
 // hot path recycles storage instead of re-growing it for every
 // message. All of a worm's calendar entries are (Func, worm) records
 // — the drain/deliver events consume their per-worm schedule through
@@ -44,6 +45,16 @@ type worm struct {
 	// one VC, so the single-VC hot path never pays the assertion.
 	vcPol routing.VCPolicy
 
+	// sel is the worm's routing function (the transfer's, or the
+	// network default), with its fast-path interfaces resolved once at
+	// Send instead of once per advance: chApp is the channel-resolved
+	// form every in-package selector offers, hopApp the node-only
+	// append form, either nil when unimplemented. advance consults
+	// chApp, then hopApp, then plain NextHops.
+	sel    routing.Selector
+	chApp  routing.ChannelAppender
+	hopApp routing.HopAppender
+
 	// activePrev/activeNext thread the network's in-flight list: an
 	// intrusive doubly-linked list replaces the old map[*worm]bool,
 	// which paid a pointer hash on every send and every retirement.
@@ -60,25 +71,29 @@ func (w *worm) describe() string {
 // pooled worm keeps whatever larger capacity it grew to.
 const wormSliceCap = 16
 
-// getWorm takes a worm off the free list, or builds one with
-// pre-sized slices when the pool is dry.
-func (n *Network) getWorm() *worm {
-	if k := len(n.wormFree); k > 0 {
-		w := n.wormFree[k-1]
-		n.wormFree[k-1] = nil
-		n.wormFree = n.wormFree[:k-1]
-		return w
-	}
+// wormPool is the process-wide worm free pool. It used to be a
+// per-network free list, but studies build a fresh network each —
+// a sweep or a saturation benchmark pays the full worm allocation
+// ramp-up on every run. putWorm clears every reference a worm holds,
+// so recycling across networks is safe, and sync.Pool's per-P caches
+// keep Get/Put off any shared lock.
+var wormPool = sync.Pool{New: func() any {
 	return &worm{
 		path:    make([]topology.NodeID, 0, wormSliceCap),
 		grants:  make([]sim.Time, 0, wormSliceCap),
 		chans:   make([]topology.ChannelID, 0, wormSliceCap),
 		deliver: make([]int, 0, wormSliceCap),
 	}
+}}
+
+// getWorm takes a worm off the free pool, which builds one with
+// pre-sized slices when dry.
+func (n *Network) getWorm() *worm {
+	return wormPool.Get().(*worm)
 }
 
 // putWorm resets w (dropping its Transfer reference, keeping slice
-// capacity) and returns it to the free list. Only finishWorm and
+// capacity) and returns it to the free pool. Only finishWorm and
 // dropWorm may call it: by then every calendar record referencing w
 // has fired — park timeouts reference a token, not the worm, exactly
 // so a drop cannot race a stale timeout.
@@ -97,8 +112,9 @@ func (n *Network) putWorm(w *worm) {
 	w.started, w.portAt = 0, 0
 	w.parkToken = nil
 	w.vcPol = nil
+	w.sel, w.chApp, w.hopApp = nil, nil, nil
 	w.activePrev, w.activeNext = nil, nil
-	n.wormFree = append(n.wormFree, w)
+	wormPool.Put(w)
 }
 
 // Prebuilt event bodies: the network schedules (func, worm) records,
@@ -199,11 +215,16 @@ func (n *Network) Send(start sim.Time, t *Transfer) error {
 	w.path = append(w.path, t.Source)
 	w.waiting = topology.InvalidChannel
 	w.started = start
+	sel := t.Selector
+	if sel == nil {
+		sel = n.dor
+	}
+	w.sel = sel
+	w.chApp, _ = sel.(routing.ChannelAppender)
+	if w.chApp == nil {
+		w.hopApp, _ = sel.(routing.HopAppender)
+	}
 	if n.vcs > 1 {
-		sel := t.Selector
-		if sel == nil {
-			sel = n.dor
-		}
 		w.vcPol, _ = sel.(routing.VCPolicy)
 	}
 	n.injected++
@@ -254,14 +275,6 @@ func (n *Network) releasePort(env *sim.Env, node topology.NodeID) {
 	}
 }
 
-// selector returns the routing function for w.
-func (w *worm) selector() routing.Selector {
-	if w.t.Selector != nil {
-		return w.t.Selector
-	}
-	return w.net.dor
-}
-
 // advance moves the worm's header one hop, or completes the worm when
 // the final waypoint is reached. Called at the moment the header sits
 // at w.cur ready to move. Shard-class on w.cur's owner: everything it
@@ -285,17 +298,22 @@ func (n *Network) advance(env *sim.Env, w *worm) {
 		n.parkOrDrop(env, w)
 		return
 	}
-	// Route through the allocation-free append path when the selector
-	// offers it, reusing the context's scratch buffer; foreign
-	// selectors fall back to the slice-returning form.
-	sel := w.selector()
+	if w.chApp != nil {
+		n.advanceChannels(env, w, dst, h)
+		return
+	}
+	// Foreign selector: route through the node-append path when
+	// offered (cached at Send), else the slice-returning form, and
+	// resolve each candidate's channel from the endpoint pair. This
+	// path keeps the non-adjacency guard — in-package selectors are
+	// trusted (their coordinate walks cannot emit a non-neighbor).
 	var cands []topology.NodeID
-	if ap, ok := sel.(routing.HopAppender); ok {
+	if w.hopApp != nil {
 		buf := n.scratch(env)
-		*buf = ap.AppendNextHops((*buf)[:0], w.cur, dst)
+		*buf = w.hopApp.AppendNextHops((*buf)[:0], w.cur, dst)
 		cands = *buf
 	} else {
-		cands = sel.NextHops(w.cur, dst)
+		cands = w.sel.NextHops(w.cur, dst)
 	}
 	if len(cands) == 0 {
 		panic(fmt.Sprintf("network: no route from %d to %d for %s", w.cur, dst, w.describe()))
@@ -352,6 +370,48 @@ func (n *Network) advance(env *sim.Env, w *worm) {
 		return
 	}
 	n.acquire(env, w, pick, pickLane)
+}
+
+// advanceChannels is advance's candidate loop over channel-resolved
+// hops: the selector emits each candidate's directed channel during
+// the coordinate walk it already performs (routing.ChannelAppender),
+// so no candidate pays the endpoint-pair channel derivation. Same
+// preference order, same adaptive first-free-lane choice, same
+// fault filtering and FIFO wait as the generic loop above.
+func (n *Network) advanceChannels(env *sim.Env, w *worm, dst topology.NodeID, h *healthState) {
+	buf := n.hopScratchFor(env)
+	hops := w.chApp.AppendNextChannels((*buf)[:0], w.cur, dst)
+	*buf = hops
+	if len(hops) == 0 {
+		panic(fmt.Sprintf("network: no route from %d to %d for %s", w.cur, dst, w.describe()))
+	}
+	firstLive := -1
+	for i := range hops {
+		cand, ch := hops[i].Node, hops[i].Ch
+		if h != nil && (h.linkDown[ch] || h.nodeDown[cand]) {
+			continue
+		}
+		if firstLive < 0 {
+			firstLive = i
+		}
+		lo, hi := n.laneRange(w, cand, dst)
+		base := int(ch) * n.vcs
+		for l := lo; l < hi; l++ {
+			if n.laneFree(topology.ChannelID(base + l)) {
+				n.acquire(env, w, cand, topology.ChannelID(base+l))
+				return
+			}
+		}
+	}
+	if firstLive < 0 {
+		n.parkOrDrop(env, w)
+		return
+	}
+	cand, ch := hops[firstLive].Node, hops[firstLive].Ch
+	lo, _ := n.laneRange(w, cand, dst)
+	lane := topology.ChannelID(int(ch)*n.vcs + lo)
+	w.waiting = lane
+	n.lane(lane).queue.Push(w)
 }
 
 // laneRange returns the half-open lane range [lo, hi) within one

@@ -90,6 +90,19 @@ func datelineStep(m *topology.Mesh, cur topology.NodeID, d, cc, dc int) topology
 	return m.Step(cur, d, -1)
 }
 
+// datelineHop is datelineStep with the hop's channel resolved in-walk.
+func datelineHop(m *topology.Mesh, cur topology.NodeID, d, cc, dc int) Hop {
+	k := m.Dim(d)
+	forward := dc - cc
+	if forward < 0 {
+		forward += k
+	}
+	if forward <= k-forward {
+		return Hop{Node: m.Step(cur, d, +1), Ch: m.DirChannel(cur, d, 0)}
+	}
+	return Hop{Node: m.Step(cur, d, -1), Ch: m.DirChannel(cur, d, 1)}
+}
+
 // DatelineDOR is dimension-order routing with dateline virtual
 // channels: hop-for-hop the same minimal modular routes as DOR on a
 // torus, plus the VC-class switch on wraparound crossings that makes

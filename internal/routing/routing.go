@@ -33,6 +33,25 @@ type HopAppender interface {
 	AppendNextHops(buf []topology.NodeID, cur, dst topology.NodeID) []topology.NodeID
 }
 
+// Hop is one routing candidate with its directed channel already
+// resolved: the next node plus the channel cur → next. Resolving the
+// channel inside the routing function is nearly free — the coordinate
+// walk already knows the hop's dimension and direction — where the
+// network would otherwise re-derive both from the endpoint pair
+// (Mesh.Channel) for every candidate of every header advance.
+type Hop struct {
+	Node topology.NodeID
+	Ch   topology.ChannelID
+}
+
+// ChannelAppender is the channel-resolved fast path of a Selector:
+// AppendNextChannels appends exactly the candidates AppendNextHops
+// returns, in the same preference order, each with its directed
+// channel attached. All selectors in this package implement it.
+type ChannelAppender interface {
+	AppendNextChannels(buf []Hop, cur, dst topology.NodeID) []Hop
+}
+
 // Path expands a selector into a concrete path from src to dst by
 // always taking the first candidate. The returned path includes both
 // endpoints. It panics if the selector stalls or wanders, which would
@@ -116,6 +135,38 @@ func (r *DOR) AppendNextHops(buf []topology.NodeID, cur, dst topology.NodeID) []
 			}
 		}
 		return append(buf, r.m.Step(cur, d, step))
+	}
+	return buf
+}
+
+// AppendNextChannels implements ChannelAppender: the same single
+// candidate as AppendNextHops, with its channel emitted from the
+// (dimension, direction) pair the walk just computed.
+func (r *DOR) AppendNextChannels(buf []Hop, cur, dst topology.NodeID) []Hop {
+	for _, d := range r.order {
+		cc := r.m.CoordAxis(cur, d)
+		dc := r.m.CoordAxis(dst, d)
+		if cc == dc {
+			continue
+		}
+		k := r.m.Dim(d)
+		step := 1
+		if dc < cc {
+			step = -1
+		}
+		if r.m.Wrap() && k >= 3 {
+			forward := ((dc - cc) + k) % k
+			if forward <= k-forward {
+				step = 1
+			} else {
+				step = -1
+			}
+		}
+		dir := 0
+		if step < 0 {
+			dir = 1
+		}
+		return append(buf, Hop{Node: r.m.Step(cur, d, step), Ch: r.m.DirChannel(cur, d, dir)})
 	}
 	return buf
 }

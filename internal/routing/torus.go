@@ -19,11 +19,18 @@ import (
 // routing — exactly the "fall back to dateline routing along wrap
 // dimensions" contract.
 
+// meshFastPath is what the residual-dimension mesh turn model must
+// offer the torus scaffolding: both allocation-free candidate forms.
+type meshFastPath interface {
+	HopAppender
+	ChannelAppender
+}
+
 // torusTurnModel is the shared wrap-first scaffolding of the torus
 // turn models.
 type torusTurnModel struct {
 	m    *topology.Mesh
-	mesh HopAppender // the mesh turn model for the residual dimensions
+	mesh meshFastPath // the mesh turn model for the residual dimensions
 }
 
 // appendNextHops corrects wrap dimensions in increasing order with
@@ -41,6 +48,21 @@ func (r *torusTurnModel) appendNextHops(buf []topology.NodeID, cur, dst topology
 		return append(buf, datelineStep(r.m, cur, d, cc, dc))
 	}
 	return r.mesh.AppendNextHops(buf, cur, dst)
+}
+
+// appendNextChannels is appendNextHops with channels resolved in-walk.
+func (r *torusTurnModel) appendNextChannels(buf []Hop, cur, dst topology.NodeID) []Hop {
+	for d := 0; d < r.m.NDims(); d++ {
+		if !r.m.WrapDim(d) {
+			continue
+		}
+		cc, dc := r.m.CoordAxis(cur, d), r.m.CoordAxis(dst, d)
+		if cc == dc {
+			continue
+		}
+		return append(buf, datelineHop(r.m, cur, d, cc, dc))
+	}
+	return r.mesh.AppendNextChannels(buf, cur, dst)
 }
 
 // TorusWestFirst is the torus-capable west-first turn model: minimal
@@ -70,6 +92,11 @@ func (r *TorusWestFirst) NextHops(cur, dst topology.NodeID) []topology.NodeID {
 // AppendNextHops implements HopAppender.
 func (r *TorusWestFirst) AppendNextHops(buf []topology.NodeID, cur, dst topology.NodeID) []topology.NodeID {
 	return r.appendNextHops(buf, cur, dst)
+}
+
+// AppendNextChannels implements ChannelAppender.
+func (r *TorusWestFirst) AppendNextChannels(buf []Hop, cur, dst topology.NodeID) []Hop {
+	return r.appendNextChannels(buf, cur, dst)
 }
 
 // VCClasses implements VCPolicy.
@@ -109,6 +136,11 @@ func (r *TorusOddEven) AppendNextHops(buf []topology.NodeID, cur, dst topology.N
 	return r.appendNextHops(buf, cur, dst)
 }
 
+// AppendNextChannels implements ChannelAppender.
+func (r *TorusOddEven) AppendNextChannels(buf []Hop, cur, dst topology.NodeID) []Hop {
+	return r.appendNextChannels(buf, cur, dst)
+}
+
 // VCClasses implements VCPolicy.
 func (r *TorusOddEven) VCClasses() int { return 2 }
 
@@ -138,10 +170,12 @@ func OddEvenFor(m *topology.Mesh) Selector {
 }
 
 var (
-	_ Selector    = (*TorusWestFirst)(nil)
-	_ HopAppender = (*TorusWestFirst)(nil)
-	_ VCPolicy    = (*TorusWestFirst)(nil)
-	_ Selector    = (*TorusOddEven)(nil)
-	_ HopAppender = (*TorusOddEven)(nil)
-	_ VCPolicy    = (*TorusOddEven)(nil)
+	_ Selector        = (*TorusWestFirst)(nil)
+	_ HopAppender     = (*TorusWestFirst)(nil)
+	_ ChannelAppender = (*TorusWestFirst)(nil)
+	_ VCPolicy        = (*TorusWestFirst)(nil)
+	_ Selector        = (*TorusOddEven)(nil)
+	_ HopAppender     = (*TorusOddEven)(nil)
+	_ ChannelAppender = (*TorusOddEven)(nil)
+	_ VCPolicy        = (*TorusOddEven)(nil)
 )

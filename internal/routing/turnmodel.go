@@ -94,6 +94,56 @@ func (r *WestFirst) AppendNextHops(buf []topology.NodeID, cur, dst topology.Node
 	return buf
 }
 
+// AppendNextChannels implements ChannelAppender: the same candidates
+// as AppendNextHops in the same order, channels resolved in-walk.
+func (r *WestFirst) AppendNextChannels(buf []Hop, cur, dst topology.NodeID) []Hop {
+	// Phase 1: all west hops.
+	cx, dx := r.m.CoordAxis(cur, 0), r.m.CoordAxis(dst, 0)
+	if dx < cx {
+		return append(buf, Hop{Node: r.m.Step(cur, 0, -1), Ch: r.m.DirChannel(cur, 0, 1)})
+	}
+	// Phase 2: adaptive among east and the second dimension.
+	var east, vert Hop
+	eastOff, vertOff := 0, 0
+	if dx > cx {
+		east = Hop{Node: r.m.Step(cur, 0, +1), Ch: r.m.DirChannel(cur, 0, 0)}
+		eastOff = dx - cx
+	}
+	if r.m.NDims() >= 2 {
+		cy, dy := r.m.CoordAxis(cur, 1), r.m.CoordAxis(dst, 1)
+		switch {
+		case dy > cy:
+			vert = Hop{Node: r.m.Step(cur, 1, +1), Ch: r.m.DirChannel(cur, 1, 0)}
+			vertOff = dy - cy
+		case dy < cy:
+			vert = Hop{Node: r.m.Step(cur, 1, -1), Ch: r.m.DirChannel(cur, 1, 1)}
+			vertOff = cy - dy
+		}
+	}
+	switch {
+	case eastOff > 0 && vertOff > 0:
+		if vertOff > eastOff {
+			return append(buf, vert, east)
+		}
+		return append(buf, east, vert)
+	case eastOff > 0:
+		return append(buf, east)
+	case vertOff > 0:
+		return append(buf, vert)
+	}
+	// Phase 3: remaining dimensions, dimension-ordered.
+	for d := 2; d < r.m.NDims(); d++ {
+		cc, dc := r.m.CoordAxis(cur, d), r.m.CoordAxis(dst, d)
+		switch {
+		case dc > cc:
+			return append(buf, Hop{Node: r.m.Step(cur, d, +1), Ch: r.m.DirChannel(cur, d, 0)})
+		case dc < cc:
+			return append(buf, Hop{Node: r.m.Step(cur, d, -1), Ch: r.m.DirChannel(cur, d, 1)})
+		}
+	}
+	return buf
+}
+
 // SegmentLegal reports whether a worm travelling from a to b and then
 // from b to c can be routed as a single west-first worm: the
 // concatenated journey must still be "all negative hops before all
@@ -208,11 +258,68 @@ func (r *OddEven) vstep(cur topology.NodeID, ey int) topology.NodeID {
 	return r.m.Step(cur, 1, -1)
 }
 
+// AppendNextChannels implements ChannelAppender: the same candidates
+// as AppendNextHops in the same order, channels resolved in-walk.
+func (r *OddEven) AppendNextChannels(buf []Hop, cur, dst topology.NodeID) []Hop {
+	// Correct dimensions >= 2 first (dimension-ordered).
+	for d := r.m.NDims() - 1; d >= 2; d-- {
+		cc, dc := r.m.CoordAxis(cur, d), r.m.CoordAxis(dst, d)
+		if cc == dc {
+			continue
+		}
+		if dc > cc {
+			return append(buf, Hop{Node: r.m.Step(cur, d, +1), Ch: r.m.DirChannel(cur, d, 0)})
+		}
+		return append(buf, Hop{Node: r.m.Step(cur, d, -1), Ch: r.m.DirChannel(cur, d, 1)})
+	}
+
+	cx, cy := r.m.CoordAxis(cur, 0), r.m.CoordAxis(cur, 1)
+	dx, dy := r.m.CoordAxis(dst, 0), r.m.CoordAxis(dst, 1)
+	ex, ey := dx-cx, dy-cy
+	if ex == 0 && ey == 0 {
+		return buf
+	}
+
+	n := len(buf)
+	if ex > 0 {
+		// See AppendNextHops for the turn rules.
+		mustTurnHere := ey != 0 && cx+1 == dx && dx%2 == 0
+		if !mustTurnHere {
+			buf = append(buf, Hop{Node: r.m.Step(cur, 0, +1), Ch: r.m.DirChannel(cur, 0, 0)})
+		}
+		if ey != 0 && cx%2 == 1 {
+			buf = append(buf, r.vhop(cur, ey))
+		}
+	} else if ex < 0 {
+		if ey != 0 && cx%2 == 0 {
+			buf = append(buf, r.vhop(cur, ey))
+		}
+		buf = append(buf, Hop{Node: r.m.Step(cur, 0, -1), Ch: r.m.DirChannel(cur, 0, 1)})
+	} else {
+		buf = append(buf, r.vhop(cur, ey))
+	}
+	if len(buf) == n {
+		panic(fmt.Sprintf("routing: odd-even stalled at %d toward %d", cur, dst))
+	}
+	return buf
+}
+
+func (r *OddEven) vhop(cur topology.NodeID, ey int) Hop {
+	if ey > 0 {
+		return Hop{Node: r.m.Step(cur, 1, +1), Ch: r.m.DirChannel(cur, 1, 0)}
+	}
+	return Hop{Node: r.m.Step(cur, 1, -1), Ch: r.m.DirChannel(cur, 1, 1)}
+}
+
 var (
-	_ Selector    = (*DOR)(nil)
-	_ Selector    = (*WestFirst)(nil)
-	_ Selector    = (*OddEven)(nil)
-	_ HopAppender = (*DOR)(nil)
-	_ HopAppender = (*WestFirst)(nil)
-	_ HopAppender = (*OddEven)(nil)
+	_ Selector        = (*DOR)(nil)
+	_ Selector        = (*WestFirst)(nil)
+	_ Selector        = (*OddEven)(nil)
+	_ HopAppender     = (*DOR)(nil)
+	_ HopAppender     = (*WestFirst)(nil)
+	_ HopAppender     = (*OddEven)(nil)
+	_ ChannelAppender = (*DOR)(nil)
+	_ ChannelAppender = (*WestFirst)(nil)
+	_ ChannelAppender = (*OddEven)(nil)
+	_ ChannelAppender = (*DatelineDOR)(nil)
 )

@@ -2,19 +2,28 @@ package service
 
 import "container/list"
 
-// resultCache is a fixed-capacity LRU of rendered result bodies keyed
+// resultCache is a byte-budgeted LRU of rendered result bodies keyed
 // by (spec key, format). Determinism makes entries immortal — a cached
 // body can never go stale, only cold — so eviction is purely a memory
 // bound, and recency is the right victim order for a serving workload
 // with popular scenarios.
 //
+// The budget counts body bytes, not entries: an entry-count bound is
+// meaningless when one million-node CSV weighs five orders of
+// magnitude more than a small JSON summary — a 1024-entry cache could
+// sit anywhere between a few hundred kilobytes and tens of gigabytes.
+// Bodies larger than the whole budget bypass the cache entirely: they
+// are served to their requester but never stored, since admitting one
+// would evict everything else for a single entry.
+//
 // The cache is not concurrency-safe; the Server guards it with its
 // own mutex so a lookup shares the lock acquisition singleflight
 // registration already needs.
 type resultCache struct {
-	cap int
-	ll  *list.List // front = most recently used
-	m   map[string]*list.Element
+	budget int64      // resident body-byte bound
+	bytes  int64      // resident body bytes
+	ll     *list.List // front = most recently used
+	m      map[string]*list.Element
 }
 
 type cacheEntry struct {
@@ -22,11 +31,11 @@ type cacheEntry struct {
 	body []byte
 }
 
-func newResultCache(capacity int) *resultCache {
-	if capacity < 1 {
-		capacity = 1
+func newResultCache(budget int64) *resultCache {
+	if budget < 1 {
+		budget = 1
 	}
-	return &resultCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+	return &resultCache{budget: budget, ll: list.New(), m: make(map[string]*list.Element)}
 }
 
 // get returns the cached body and refreshes its recency. The returned
@@ -40,21 +49,41 @@ func (c *resultCache) get(key string) ([]byte, bool) {
 	return el.Value.(*cacheEntry).body, true
 }
 
-// add inserts or refreshes key, evicting the least recently used
-// entry when over capacity.
+// add inserts or refreshes key, evicting least recently used entries
+// until the resident bytes fit the budget again. A body larger than
+// the whole budget is not cached (and drops any stale entry under the
+// same key rather than leave a smaller body shadowing it).
 func (c *resultCache) add(key string, body []byte) {
-	if el, ok := c.m[key]; ok {
-		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).body = body
+	if int64(len(body)) > c.budget {
+		if el, ok := c.m[key]; ok {
+			c.remove(el)
+		}
 		return
 	}
-	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
-	if c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.m, oldest.Value.(*cacheEntry).key)
+	if el, ok := c.m[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(body)) - int64(len(e.body))
+		e.body = body
+		c.ll.MoveToFront(el)
+	} else {
+		c.m[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+		c.bytes += int64(len(body))
 	}
+	for c.bytes > c.budget {
+		c.remove(c.ll.Back())
+	}
+}
+
+// remove drops one resident entry and its byte accounting.
+func (c *resultCache) remove(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.m, e.key)
+	c.bytes -= int64(len(e.body))
 }
 
 // len reports the resident entry count.
 func (c *resultCache) len() int { return c.ll.Len() }
+
+// resident reports the resident body bytes.
+func (c *resultCache) resident() int64 { return c.bytes }

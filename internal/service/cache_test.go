@@ -1,0 +1,84 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestCacheByteBudget drives the result cache with a mixed small/large
+// body workload and checks the budget invariants after every
+// operation: resident bytes never exceed the budget, the byte
+// accounting matches the entries actually resident, and bodies larger
+// than the whole budget are never admitted.
+func TestCacheByteBudget(t *testing.T) {
+	const budget = 10_000
+	c := newResultCache(budget)
+	rng := rand.New(rand.NewSource(1))
+	sizes := []int{1, 100, 1_000, 4_000, 9_999, 10_001, 60_000}
+	for i := 0; i < 2_000; i++ {
+		size := sizes[rng.Intn(len(sizes))]
+		key := fmt.Sprintf("k%d-%d", size, rng.Intn(50))
+		c.add(key, bytes.Repeat([]byte{byte(i)}, size))
+		if c.resident() > budget {
+			t.Fatalf("op %d: resident %d bytes exceeds budget %d", i, c.resident(), budget)
+		}
+		var sum int64
+		for el := c.ll.Front(); el != nil; el = el.Next() {
+			sum += int64(len(el.Value.(*cacheEntry).body))
+		}
+		if sum != c.resident() {
+			t.Fatalf("op %d: accounting drift: resident()=%d, entries hold %d", i, c.resident(), sum)
+		}
+		if size > budget {
+			if _, ok := c.get(key); ok {
+				t.Fatalf("op %d: oversized body (%d > %d) was cached", i, size, budget)
+			}
+		}
+		if c.len() != len(c.m) {
+			t.Fatalf("op %d: list/map length drift: %d vs %d", i, c.len(), len(c.m))
+		}
+	}
+	if c.len() == 0 {
+		t.Fatal("workload left the cache empty; budget test exercised nothing")
+	}
+}
+
+// TestCacheOversizedDropsStaleEntry pins the refresh corner: when a
+// key's body grows past the budget, add must not leave the old,
+// smaller body resident to shadow the new result.
+func TestCacheOversizedDropsStaleEntry(t *testing.T) {
+	c := newResultCache(100)
+	c.add("k", make([]byte, 50))
+	if _, ok := c.get("k"); !ok {
+		t.Fatal("small body not cached")
+	}
+	c.add("k", make([]byte, 200))
+	if _, ok := c.get("k"); ok {
+		t.Fatal("stale small body still resident after oversized refresh")
+	}
+	if c.resident() != 0 {
+		t.Fatalf("resident %d bytes after dropping the only entry", c.resident())
+	}
+}
+
+// TestCacheLRUVictimOrder checks recency-ordered eviction under the
+// byte budget: touching an entry via get protects it, and the least
+// recently used entry is the one that makes room.
+func TestCacheLRUVictimOrder(t *testing.T) {
+	c := newResultCache(300)
+	c.add("a", make([]byte, 100))
+	c.add("b", make([]byte, 100))
+	c.add("c", make([]byte, 100))
+	c.get("a") // a is now most recent; b is LRU
+	c.add("d", make([]byte, 100))
+	if _, ok := c.get("b"); ok {
+		t.Error("LRU entry b survived eviction")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("entry %s evicted out of recency order", k)
+		}
+	}
+}

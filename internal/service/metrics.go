@@ -97,7 +97,7 @@ type serviceMetrics struct {
 }
 
 // writeProm renders every metric plus the caller-sampled gauges.
-func (m *serviceMetrics) writeProm(w io.Writer, queueDepth, inflight, cacheLen int) {
+func (m *serviceMetrics) writeProm(w io.Writer, queueDepth, inflight, cacheLen int, cacheBytes int64) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -113,6 +113,7 @@ func (m *serviceMetrics) writeProm(w io.Writer, queueDepth, inflight, cacheLen i
 	gauge("wormsimd_queue_depth", "admitted simulations awaiting a worker", queueDepth)
 	gauge("wormsimd_inflight", "simulations currently executing", inflight)
 	gauge("wormsimd_cache_entries", "resident result-cache entries", cacheLen)
+	gauge("wormsimd_cache_bytes", "resident result-cache body bytes", int(cacheBytes))
 	m.hitLatency.writeProm(w, "wormsimd_hit_latency_seconds")
 	m.missLatency.writeProm(w, "wormsimd_miss_latency_seconds")
 }

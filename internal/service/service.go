@@ -41,6 +41,9 @@ const DefaultSeed = 2005
 // layer maps it to 429 Too Many Requests with a Retry-After hint.
 var ErrBusy = errors.New("service: admission queue full, retry later")
 
+// DefaultCacheBytes is the result cache's default byte budget.
+const DefaultCacheBytes = 64 << 20 // 64 MiB
+
 // Config sizes the server. Zero values pick serving defaults.
 type Config struct {
 	// Procs is the simulation worker count (0 = one per core). Each
@@ -49,8 +52,10 @@ type Config struct {
 	// QueueCap bounds how many admitted misses may wait for a worker
 	// (default 64). Beyond it, requests are shed with ErrBusy.
 	QueueCap int
-	// CacheEntries bounds the result LRU (default 1024 bodies).
-	CacheEntries int
+	// CacheBytes bounds the result LRU by total cached body bytes
+	// (default 64 MiB). Bodies larger than the whole budget are served
+	// but never cached.
+	CacheBytes int64
 	// RetryAfter is the hint returned with 429 responses
 	// (default 1s, rounded up to whole seconds on the wire).
 	RetryAfter time.Duration
@@ -82,8 +87,8 @@ func New(cfg Config) *Server {
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 64
 	}
-	if cfg.CacheEntries <= 0 {
-		cfg.CacheEntries = 1024
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = DefaultCacheBytes
 	}
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
@@ -93,7 +98,7 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		pool:     pool,
 		exec:     runner.NewExecutor(pool, cfg.QueueCap),
-		cache:    newResultCache(cfg.CacheEntries),
+		cache:    newResultCache(cfg.CacheBytes),
 		inflight: make(map[string]*call),
 	}
 }
@@ -397,7 +402,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	cacheLen := s.cache.len()
+	cacheBytes := s.cache.resident()
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.writeProm(w, s.exec.QueueDepth(), s.exec.InFlight(), cacheLen)
+	s.metrics.writeProm(w, s.exec.QueueDepth(), s.exec.InFlight(), cacheLen, cacheBytes)
 }

@@ -247,6 +247,7 @@ func TestHTTPSurface(t *testing.T) {
 		"wormsimd_cache_hits_total 1",
 		"wormsimd_misses_total 1",
 		"wormsimd_queue_depth",
+		"wormsimd_cache_bytes",
 		"wormsimd_hit_latency_seconds_count 1",
 		"wormsimd_miss_latency_seconds_count 1",
 	} {
@@ -257,7 +258,15 @@ func TestHTTPSurface(t *testing.T) {
 }
 
 func TestCacheEviction(t *testing.T) {
-	s := service.New(service.Config{Procs: 2, QueueCap: 16, CacheEntries: 2})
+	// Learn one rendered body's size, then budget the cache for two
+	// bodies so the third insertion must evict the LRU entry.
+	probe := service.New(service.Config{Procs: 2, QueueCap: 16})
+	body, _, _, err := probe.Run(context.Background(), smallReq(1, "csv"))
+	probe.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := service.New(service.Config{Procs: 2, QueueCap: 16, CacheBytes: int64(2*len(body) + len(body)/2)})
 	defer s.Close()
 	ctx := context.Background()
 

@@ -43,11 +43,22 @@ type event struct {
 // default ladderQueue and the legacy eventQueue binary heap, kept as a
 // debugging reference — and they must drain any schedule in the same
 // order (pinned by the differential tests in ladder_test.go).
+//
+// popWavefront appends to dst the maximal front run of events that
+// share the earliest due time, bounded exclusively by (limDue,
+// limSeq), and removes them from the calendar. The run is returned in
+// (due, seq) order — exactly the order repeated pop calls would yield
+// — so executing it front to back is indistinguishable from popping
+// one event at a time. An empty append means the front event is at or
+// past the bound. dst is caller-owned scratch: the returned events
+// are copies, never views into calendar storage. Pass limDue =
+// +Inf, limSeq = MaxUint64 for an unbounded wavefront.
 type calendar interface {
 	Len() int
 	push(event)
 	pop() event
 	peek() event
+	popWavefront(dst []event, limDue Time, limSeq uint64) []event
 }
 
 // eventBefore reports whether a fires before b: earlier due first,
@@ -121,4 +132,26 @@ func (q *eventQueue) peek() event {
 		panic("sim: peek at empty calendar")
 	}
 	return q.items[0]
+}
+
+// popWavefront pops the front equal-due run under the bound. On the
+// heap this is a loop of ordinary O(log n) pops — the heap gains no
+// speed from batching, it exists so wavefront execution produces
+// byte-identical output on either calendar.
+func (q *eventQueue) popWavefront(dst []event, limDue Time, limSeq uint64) []event {
+	if len(q.items) == 0 {
+		panic("sim: pop from empty calendar")
+	}
+	due := q.items[0].due
+	if due > limDue || (due == limDue && q.items[0].seq >= limSeq) {
+		return dst
+	}
+	for len(q.items) > 0 {
+		f := &q.items[0]
+		if f.due != due || (due == limDue && f.seq >= limSeq) {
+			break
+		}
+		dst = append(dst, q.pop())
+	}
+	return dst
 }

@@ -214,6 +214,10 @@ type shardWorker struct {
 	parked atomic.Bool
 	wake   chan struct{}
 	quit   atomic.Bool
+
+	// wfBuf is this worker's wavefront scratch; per-worker so segment
+	// drains on different shards never share it.
+	wfBuf []event
 }
 
 // runSegment drains the worker's calendar up to the published bound,
@@ -223,6 +227,10 @@ func (w *shardWorker) runSegment() {
 	w.kids = w.kids[:0]
 	w.nExec = 0
 	bd, bs := w.segBoundDue, w.segBoundSeq
+	if w.s.wf {
+		w.runSegmentWavefronts(bd, bs)
+		return
+	}
 	for cal.n > 0 {
 		e := cal.peek()
 		if e.due > bd || (e.due == bd && e.seq >= bs) {
@@ -234,6 +242,44 @@ func (w *shardWorker) runSegment() {
 		w.maxDue = e.due
 		w.nExec++
 		e.fn(&w.env, e.arg)
+	}
+}
+
+// runSegmentWavefronts is runSegment draining per-shard wavefronts:
+// each front equal-due run below the segment bound comes out of the
+// calendar in one sweep and executes in (due, seq) order with the
+// per-event child bookkeeping unchanged, so the barrier merge sees
+// exactly the buffers the one-at-a-time drain would have produced.
+// Children a batch schedules land at or beyond the bound (the
+// conservative invariant), so they can never join the open segment.
+func (w *shardWorker) runSegmentWavefronts(bd Time, bs uint64) {
+	cal := w.cal
+	s := w.s
+	// Executed records' fn/arg references persist in the scratch between
+	// batches; release them when the segment closes.
+	defer func() { clear(w.wfBuf[:cap(w.wfBuf)]) }()
+	for cal.n > 0 {
+		wf := cal.popWavefront(w.wfBuf[:0], bd, bs)
+		if len(wf) == 0 {
+			w.wfBuf = wf
+			return
+		}
+		n := len(wf)
+		w.env.now = wf[0].due
+		w.maxDue = wf[0].due
+		w.nExec += uint64(n)
+		batch := n > 1
+		if batch && s.wfBegin != nil {
+			s.wfBegin(&w.env, n)
+		}
+		for k := 0; k < n; k++ {
+			w.curDue, w.curSeq, w.curIdx = wf[k].due, wf[k].seq, 0
+			wf[k].fn(&w.env, wf[k].arg)
+		}
+		if batch && s.wfEnd != nil {
+			s.wfEnd(&w.env)
+		}
+		w.wfBuf = wf
 	}
 }
 
@@ -683,6 +729,10 @@ func (s *Simulator) runShardInline(i int, limDue Time, limSeq uint64) {
 	sh := s.sh
 	cal := sh.cals[i]
 	env := &sh.envs[i]
+	if s.wf && s.limit == 0 {
+		s.runShardInlineWavefronts(i, limDue, limSeq)
+		return
+	}
 	for !s.stopped && cal.n > 0 {
 		e := cal.peek()
 		if !keyLess(e.due, e.seq, limDue, limSeq) {
@@ -705,5 +755,51 @@ func (s *Simulator) runShardInline(i int, limDue Time, limSeq uint64) {
 		s.fired++
 		e.fn(env, e.arg)
 		s.stepEventLimit()
+	}
+}
+
+// runShardInlineWavefronts is runShardInline draining wavefronts:
+// identical order (the bound test matches keyLess exactly), identical
+// clock-regression guard (a run shares one due, so checking its first
+// event checks them all), and a Stop mid-batch re-pushes the
+// unexecuted tail with original seqs so Pending matches the
+// one-at-a-time drain.
+func (s *Simulator) runShardInlineWavefronts(i int, limDue Time, limSeq uint64) {
+	sh := s.sh
+	cal := sh.cals[i]
+	env := &sh.envs[i]
+	defer func() { clear(s.wfBuf[:cap(s.wfBuf)]) }()
+	for !s.stopped && cal.n > 0 {
+		wf := cal.popWavefront(s.wfBuf[:0], limDue, limSeq)
+		if len(wf) == 0 {
+			s.wfBuf = wf
+			return
+		}
+		if wf[0].due < s.now {
+			// See runShardInline: an event below the open drain limit is
+			// a causality violation and must be loud.
+			panic(fmt.Sprintf("sim: shard %d clock regression: event due %v before now=%v (scheduled below the open drain limit)",
+				i, wf[0].due, s.now))
+		}
+		s.now = wf[0].due
+		n := len(wf)
+		batch := n > 1
+		if batch && s.wfBegin != nil {
+			s.wfBegin(env, n)
+		}
+		for k := 0; k < n; k++ {
+			if s.stopped {
+				for _, e := range wf[k:] {
+					cal.push(e)
+				}
+				break
+			}
+			s.fired++
+			wf[k].fn(env, wf[k].arg)
+		}
+		if batch && s.wfEnd != nil {
+			s.wfEnd(env)
+		}
+		s.wfBuf = wf
 	}
 }

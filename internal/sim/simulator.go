@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"sync/atomic"
 )
 
@@ -61,6 +62,32 @@ func SetDefaultCalendar(c Calendar) { defaultCalendar.Store(int32(c)) }
 // DefaultCalendar reports the calendar New currently uses.
 func DefaultCalendar() Calendar { return Calendar(defaultCalendar.Load()) }
 
+// wavefrontOff is the process-wide wavefront-execution knob, inverted
+// so the zero value means on — wavefront batching is the default, the
+// flag exists for A/B runs and differential tests. Atomic for the
+// same reason as defaultCalendar: worker pools read it concurrently.
+var wavefrontOff atomic.Bool
+
+// SetDefaultWavefront selects whether simulators created from now on
+// execute same-instant runs as batched wavefronts (the default) or
+// pop one event at a time. Output is byte-identical either way — the
+// knob trades nothing but speed, and exists so CI can diff the two.
+func SetDefaultWavefront(on bool) { wavefrontOff.Store(!on) }
+
+// DefaultWavefront reports whether New currently enables wavefront
+// batch execution.
+func DefaultWavefront() bool { return !wavefrontOff.Load() }
+
+// WavefrontStats is the batch-size census a simulator keeps while
+// running with wavefront execution: how many wavefronts it drained,
+// how many events they carried, and a log2 histogram of batch sizes
+// (Hist[k] counts wavefronts of size in [2^k, 2^(k+1))).
+type WavefrontStats struct {
+	Batches uint64
+	Events  uint64
+	Hist    [16]uint64
+}
+
 // ErrStalled is returned by RunUntil when the calendar empties before
 // the requested horizon. It usually means the workload stopped
 // injecting messages, which is normal at the end of a run.
@@ -77,6 +104,16 @@ type Simulator struct {
 	fired   uint64
 	limit   uint64 // safety valve; 0 means no limit
 	stopped bool
+	// wf enables wavefront batch execution (captured from the process
+	// default at New); wfBuf is the caller-owned scratch popWavefront
+	// copies runs into, reused across batches. wfBegin/wfEnd are the
+	// executor's hooks around a multi-event batch (see
+	// SetWavefrontHooks), and wfStats is the batch-size census.
+	wf      bool
+	wfBuf   []event
+	wfBegin func(env *Env, size int)
+	wfEnd   func(env *Env)
+	wfStats WavefrontStats
 	// env is the coordinator execution context handed to every event
 	// body that runs on this thread (all of them, on a serial
 	// simulator).
@@ -96,7 +133,7 @@ func New() *Simulator {
 // NewWithCalendar returns an empty simulator backed by the given
 // calendar implementation.
 func NewWithCalendar(c Calendar) *Simulator {
-	s := &Simulator{kind: c}
+	s := &Simulator{kind: c, wf: DefaultWavefront()}
 	s.env = Env{shard: -1, s: s}
 	switch c {
 	case Ladder:
@@ -112,6 +149,25 @@ func NewWithCalendar(c Calendar) *Simulator {
 
 // Calendar reports which calendar implementation backs the simulator.
 func (s *Simulator) Calendar() Calendar { return s.kind }
+
+// Wavefront reports whether this simulator executes same-instant runs
+// as batched wavefronts (captured from the process default at New).
+func (s *Simulator) Wavefront() bool { return s.wf }
+
+// SetWavefrontHooks installs the executor's callbacks around each
+// multi-event wavefront: begin runs before a batch's first event with
+// the batch size, end after its last. The network layer uses them to
+// pin a struct-of-arrays view of lane state for the batch's duration.
+// Hooks only fire around batches of two or more events — a singleton
+// run is executed exactly like a plain Step. Either hook may be nil.
+func (s *Simulator) SetWavefrontHooks(begin func(env *Env, size int), end func(env *Env)) {
+	s.wfBegin, s.wfEnd = begin, end
+}
+
+// WavefrontStats returns the batch-size census accumulated so far.
+// All counters stay zero when wavefront execution is off or the
+// simulator runs sharded (shard segments keep their own drains).
+func (s *Simulator) WavefrontStats() WavefrontStats { return s.wfStats }
 
 // Now returns the current simulated time.
 func (s *Simulator) Now() Time { return s.now }
@@ -244,6 +300,10 @@ func (s *Simulator) Run() {
 		s.runSharded(math.Inf(1))
 		return
 	}
+	if s.wf && s.limit == 0 {
+		s.runWavefronts(math.Inf(1))
+		return
+	}
 	for s.Step() {
 		if s.limit > 0 && s.fired >= s.limit {
 			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", s.limit, s.now))
@@ -265,10 +325,14 @@ func (s *Simulator) RunUntil(horizon Time) error {
 		}
 		return nil
 	}
-	for !s.stopped && s.queue.Len() > 0 && s.queue.peek().due <= horizon {
-		s.Step()
-		if s.limit > 0 && s.fired >= s.limit {
-			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", s.limit, s.now))
+	if s.wf && s.limit == 0 {
+		s.runWavefronts(horizon)
+	} else {
+		for !s.stopped && s.queue.Len() > 0 && s.queue.peek().due <= horizon {
+			s.Step()
+			if s.limit > 0 && s.fired >= s.limit {
+				panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", s.limit, s.now))
+			}
 		}
 	}
 	if s.queue.Len() == 0 {
@@ -278,4 +342,68 @@ func (s *Simulator) RunUntil(horizon Time) error {
 		s.now = horizon
 	}
 	return nil
+}
+
+// runWavefronts is the batched serial drain Run and RunUntil use when
+// wavefront execution is on (and no event limit is set — the limit
+// path keeps the one-at-a-time loop so the limit panic fires at the
+// exact same event). Each iteration pops the front equal-due run in
+// one calendar sweep and executes it front to back: the run comes
+// back in (due, seq) order, events an executing body schedules carry
+// seqs larger than everything in the run, and a Stop mid-batch
+// re-pushes the unexecuted remainder with their original seqs — so
+// the observable schedule is bit-for-bit what repeated Step calls
+// produce, only the calendar round trips are amortized.
+func (s *Simulator) runWavefronts(horizon Time) {
+	bounded := !math.IsInf(horizon, 1)
+	// The scratch keeps executed records' fn/arg references between
+	// batches (the next pop overwrites them); release them all when the
+	// drain hands control back.
+	defer func() { clear(s.wfBuf[:cap(s.wfBuf)]) }()
+	for !s.stopped && s.queue.Len() > 0 {
+		if bounded && s.queue.peek().due > horizon {
+			return
+		}
+		var wf []event
+		if s.lq != nil {
+			wf = s.lq.popWavefront(s.wfBuf[:0], math.Inf(1), math.MaxUint64)
+		} else {
+			wf = s.queue.popWavefront(s.wfBuf[:0], math.Inf(1), math.MaxUint64)
+		}
+		n := len(wf)
+		s.now = wf[0].due
+		s.wfStats.Batches++
+		s.wfStats.Events += uint64(n)
+		s.wfStats.Hist[histBucket(n)]++
+		batch := n > 1
+		if batch && s.wfBegin != nil {
+			s.wfBegin(&s.env, n)
+		}
+		for k := 0; k < n; k++ {
+			if s.stopped {
+				// Stop landed mid-batch: hand the unexecuted tail
+				// back to the calendar (push preserves explicit
+				// seqs) so Pending matches the serial loop exactly.
+				for _, e := range wf[k:] {
+					s.queue.push(e)
+				}
+				break
+			}
+			s.fired++
+			wf[k].fn(&s.env, wf[k].arg)
+		}
+		if batch && s.wfEnd != nil {
+			s.wfEnd(&s.env)
+		}
+		s.wfBuf = wf
+	}
+}
+
+// histBucket maps a batch size to its log2 histogram bucket.
+func histBucket(n int) int {
+	b := bits.Len(uint(n)) - 1
+	if b >= len(WavefrontStats{}.Hist) {
+		b = len(WavefrontStats{}.Hist) - 1
+	}
+	return b
 }

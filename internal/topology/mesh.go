@@ -354,6 +354,16 @@ func (m *Mesh) channelID(from NodeID, dim, dir int) ChannelID {
 	return ChannelID((int(from)*len(m.dims)+dim)*2 + dir)
 }
 
+// DirChannel returns the directed channel leaving from along
+// dimension d in direction dir (0 positive, 1 negative) — the same ID
+// Channel(from, Step(from, d, ±1)) yields, including the torus wrap
+// hops, without re-deriving dimension and direction from the endpoint
+// pair. Routing fast paths use it to emit each candidate's channel
+// during the coordinate walk they already perform.
+func (m *Mesh) DirChannel(from NodeID, d, dir int) ChannelID {
+	return m.channelID(from, d, dir)
+}
+
 // sameExcept reports whether a and b agree on every axis except d.
 func (m *Mesh) sameExcept(a, b NodeID, d int) bool {
 	for i := range m.dims {

@@ -220,7 +220,13 @@ func runMixedOn(s *sim.Simulator, net *network.Network, m *topology.Mesh, cfg Mi
 	window := batches * batchSize
 	maxInjected := cfg.MaxInjected
 	if maxInjected <= 0 {
-		maxInjected = 10 * window
+		// Route the fallback through the shared default: the scenario
+		// run loop already resolves it this way, and a hard-coded
+		// 10×window here silently overrode the 3×window large-mesh cap
+		// for every legacy RunMixed caller (the Fig. 4 driver on
+		// 16×16×8 simulated over three times the intended backlog at
+		// saturated points).
+		maxInjected = DefaultMaxInjected(m.Nodes(), window)
 	}
 
 	res := &MixedResult{}

@@ -240,3 +240,68 @@ func TestPatternDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestDefaultInjectionCapFallback is the regression test for the run
+// loop's fallback cap: with MaxInjected unset it must route through
+// DefaultMaxInjected, which drops from 10× to 3× the measured window
+// above 1024 nodes. The loop used to hard-code 10×window, so legacy
+// RunMixed callers (the Fig. 4 driver's 16×16×8 mesh) simulated over
+// three times the intended backlog at saturated points.
+func TestDefaultInjectionCapFallback(t *testing.T) {
+	saturating := func(maxInjected int) MixedConfig {
+		return MixedConfig{
+			Rate:      0.5, // far beyond saturation: the cap decides when to stop
+			Length:    32,
+			Seed:      7,
+			BatchSize: 5,
+			Batches:   2,
+			// Unicast-only keeps the >1024-node run cheap.
+			BroadcastFraction: 0,
+			MaxInjected:       maxInjected,
+		}
+	}
+
+	t.Run("small mesh keeps 10x", func(t *testing.T) {
+		m := topology.NewMesh(8, 8) // 64 nodes
+		window := 2 * 5
+		def, err := RunMixed(m, saturating(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		explicit, err := RunMixed(m, saturating(DefaultMaxInjected(m.Nodes(), window)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if DefaultMaxInjected(m.Nodes(), window) != 10*window {
+			t.Fatalf("default cap for %d nodes = %d, want %d", m.Nodes(), DefaultMaxInjected(m.Nodes(), window), 10*window)
+		}
+		if def.Injected != explicit.Injected || def.MeanLatency != explicit.MeanLatency || def.Duration != explicit.Duration {
+			t.Errorf("unset cap diverged from explicit default: %+v vs %+v", def, explicit)
+		}
+	})
+
+	t.Run("large mesh drops to 3x", func(t *testing.T) {
+		m := topology.NewMesh(16, 16, 5) // 1280 nodes
+		window := 2 * 5
+		def, err := RunMixed(m, saturating(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		explicit, err := RunMixed(m, saturating(3*window))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if def.Injected != explicit.Injected || def.MeanLatency != explicit.MeanLatency || def.Duration != explicit.Duration {
+			t.Errorf("unset cap diverged from DefaultMaxInjected: %+v vs %+v", def, explicit)
+		}
+		// And it must differ from the old hard-coded 10×window run —
+		// otherwise this test would pass against the bug.
+		old, err := RunMixed(m, saturating(10*window))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if old.Injected <= def.Injected {
+			t.Errorf("10x cap injected %d, not above the 3x cap's %d; saturation assumption broken", old.Injected, def.Injected)
+		}
+	})
+}

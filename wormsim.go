@@ -182,6 +182,21 @@ func SetDefaultCalendar(c Calendar) { sim.SetDefaultCalendar(c) }
 // DefaultCalendar reports the calendar NewSimulator currently uses.
 func DefaultCalendar() Calendar { return sim.DefaultCalendar() }
 
+// SetDefaultWavefront selects whether every subsequently created
+// simulator executes same-instant event runs as batched wavefronts
+// (the default) or pops one event at a time. Output is byte-identical
+// either way — the knob exists for A/B speed runs and differential
+// tests (cmd/paperbench and cmd/sweep expose it as -wavefront).
+func SetDefaultWavefront(on bool) { sim.SetDefaultWavefront(on) }
+
+// DefaultWavefront reports whether NewSimulator currently enables
+// wavefront batch execution.
+func DefaultWavefront() bool { return sim.DefaultWavefront() }
+
+// WavefrontStats is a simulator's wavefront batch-size census:
+// batches drained, events they carried, and a log2 size histogram.
+type WavefrontStats = sim.WavefrontStats
+
 // NewSimulator returns an empty discrete-event simulator backed by
 // the process default calendar.
 func NewSimulator() *Simulator { return sim.New() }
